@@ -1,0 +1,39 @@
+// E12 (ablation) — the balance-verification hardening (DESIGN.md §4.7):
+// how often does the first, paper-prescribed candidate already pass
+// verification? If the answer is "almost always", the hardening costs one
+// components pass and buys robustness; if candidates failed often the
+// engine would degrade towards candidate scanning.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plansep;
+  const bool quick = bench::quick_mode(argc, argv);
+  const int seeds = quick ? 1 : 4;
+  const int n = quick ? 150 : 800;
+
+  std::printf(
+      "E12: verification ablation — candidates tried per separator\n\n");
+  Table table({"family", "parts", "cand.tried", "cand/part", "first-hit%"});
+  for (planar::Family f : planar::all_families()) {
+    long long parts = 0, tried = 0, first = 0;
+    for (int seed = 1; seed <= seeds; ++seed) {
+      const auto gg = planar::make_instance(f, n, seed);
+      const auto run = compute_dfs_tree(gg.graph, gg.root_hint);
+      parts += run.build.separator_stats.parts;
+      tried += run.build.separator_stats.candidates_tried;
+      first += run.build.separator_stats.first_candidate_hits;
+    }
+    if (parts == 0) continue;
+    table.add(planar::family_name(f), parts, tried,
+              static_cast<double>(tried) / parts, 100.0 * first / parts);
+  }
+  table.print();
+  std::printf(
+      "\nExpectation: cand/part close to 1 — the paper's phase analysis\n"
+      "nearly always nails the first candidate; the verification is cheap\n"
+      "insurance for the under-specified corners, not a crutch.\n");
+  return 0;
+}

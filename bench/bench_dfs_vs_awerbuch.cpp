@@ -1,0 +1,36 @@
+// E4 — ours vs Awerbuch (§1.1): the deterministic Õ(D) algorithm against
+// the classic O(n)-round DFS. On low-diameter families (triangulations)
+// ours wins by a factor that grows with n; on high-diameter families
+// (cycles, outerplanar) D ≈ n and Awerbuch's simplicity wins the
+// constants — exactly the regime split the paper describes.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plansep;
+  const bool quick = bench::quick_mode(argc, argv);
+
+  std::printf("E4: deterministic Otilde(D) DFS vs Awerbuch O(n) DFS\n\n");
+  Table table({"family", "n", "D<=", "ours.charged", "ours.measured",
+               "awerbuch", "awb/chg", "winner(charged)"});
+
+  std::vector<bench::SweepPoint> sweep = bench::standard_sweep(quick);
+  for (const auto& pt : sweep) {
+    const auto gg = planar::make_instance(pt.family, pt.n, 1);
+    const auto ours = compute_dfs_tree(gg.graph, gg.root_hint);
+    const auto awb = baselines::awerbuch_dfs(gg.graph, gg.root_hint);
+    const double ratio = static_cast<double>(awb.rounds) /
+                         static_cast<double>(ours.build.cost.charged);
+    table.add(planar::family_name(pt.family), gg.graph.num_nodes(),
+              ours.diameter_bound, ours.build.cost.charged,
+              ours.build.cost.measured, awb.rounds, ratio,
+              ratio > 1.0 ? "ours" : "awerbuch");
+  }
+  table.print();
+  std::printf(
+      "\nPaper expectation: ours wins whenever D << n/polylog (e.g.\n"
+      "triangulations, D = O(log n)); Awerbuch wins when D = Theta(n).\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) of the hot primitives: rotation
+// system construction, face tracing, tree representation, Definition 2
+// weights, Remark 1 membership, part-wise aggregation, BFS waves.
+
+#include <benchmark/benchmark.h>
+
+#include "core/plansep.hpp"
+
+namespace {
+
+using namespace plansep;
+
+planar::GeneratedGraph make_tri(int n) {
+  Rng rng(7);
+  return planar::stacked_triangulation(n, rng);
+}
+
+void BM_EmbeddingFromCoordinates(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const auto gg = planar::grid(side, side);
+  std::vector<std::pair<planar::NodeId, planar::NodeId>> edges;
+  for (planar::EdgeId e = 0; e < gg.graph.num_edges(); ++e) {
+    edges.emplace_back(gg.graph.edge_u(e), gg.graph.edge_v(e));
+  }
+  for (auto _ : state) {
+    auto g = planar::EmbeddedGraph::from_coordinates(gg.graph.coordinates(),
+                                                     edges);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * gg.graph.num_edges());
+}
+BENCHMARK(BM_EmbeddingFromCoordinates)->Arg(16)->Arg(48);
+
+void BM_FaceTracing(benchmark::State& state) {
+  const auto gg = make_tri(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    planar::FaceStructure fs(gg.graph);
+    benchmark::DoNotOptimize(fs.num_faces());
+  }
+  state.SetItemsProcessed(state.iterations() * gg.graph.num_darts());
+}
+BENCHMARK(BM_FaceTracing)->Arg(1000)->Arg(8000);
+
+void BM_RootedTreeBuild(benchmark::State& state) {
+  const auto gg = make_tri(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto t = tree::RootedSpanningTree::bfs(gg.graph, gg.root_hint);
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations() * gg.graph.num_nodes());
+}
+BENCHMARK(BM_RootedTreeBuild)->Arg(1000)->Arg(8000);
+
+void BM_FaceWeights(benchmark::State& state) {
+  const auto gg = make_tri(static_cast<int>(state.range(0)));
+  const auto t = tree::RootedSpanningTree::bfs(gg.graph, gg.root_hint);
+  std::vector<faces::FundamentalEdge> fes;
+  for (auto e : faces::real_fundamental_edges(t)) {
+    fes.push_back(faces::analyze_fundamental_edge(t, e));
+  }
+  for (auto _ : state) {
+    long long acc = 0;
+    for (const auto& fe : fes) acc += faces::face_weight(t, fe);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * fes.size());
+}
+BENCHMARK(BM_FaceWeights)->Arg(1000)->Arg(8000);
+
+void BM_MembershipClassify(benchmark::State& state) {
+  const auto gg = make_tri(static_cast<int>(state.range(0)));
+  const auto t = tree::RootedSpanningTree::bfs(gg.graph, gg.root_hint);
+  const auto fund = faces::real_fundamental_edges(t);
+  const auto fe = faces::analyze_fundamental_edge(t, fund.front());
+  const auto fd = faces::face_data(t, fe);
+  for (auto _ : state) {
+    int inside = 0;
+    for (planar::NodeId v : t.nodes()) {
+      inside += faces::classify_node(fd, faces::node_data(t, v)) ==
+                faces::FaceSide::kInside;
+    }
+    benchmark::DoNotOptimize(inside);
+  }
+  state.SetItemsProcessed(state.iterations() * gg.graph.num_nodes());
+}
+BENCHMARK(BM_MembershipClassify)->Arg(1000)->Arg(8000);
+
+void BM_PartwiseAggregate(benchmark::State& state) {
+  const auto gg = make_tri(static_cast<int>(state.range(0)));
+  shortcuts::PartwiseEngine engine(gg.graph, gg.root_hint);
+  std::vector<int> part(gg.graph.num_nodes(), 0);
+  std::vector<std::int64_t> ones(gg.graph.num_nodes(), 1);
+  for (auto _ : state) {
+    auto res = engine.aggregate(part, ones, shortcuts::AggOp::kSum);
+    benchmark::DoNotOptimize(res.value[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * gg.graph.num_nodes());
+}
+BENCHMARK(BM_PartwiseAggregate)->Arg(1000)->Arg(8000);
+
+void BM_DistributedBfsWave(benchmark::State& state) {
+  const auto gg = make_tri(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto res = congest::distributed_bfs(gg.graph, gg.root_hint);
+    benchmark::DoNotOptimize(res.height);
+  }
+  state.SetItemsProcessed(state.iterations() * gg.graph.num_edges());
+}
+BENCHMARK(BM_DistributedBfsWave)->Arg(1000)->Arg(8000);
+
+void BM_WholeSeparator(benchmark::State& state) {
+  const auto gg = make_tri(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto run = compute_cycle_separator(gg.graph, gg.root_hint);
+    benchmark::DoNotOptimize(run.separator.path.size());
+  }
+}
+BENCHMARK(BM_WholeSeparator)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void BM_WholeDfs(benchmark::State& state) {
+  const auto gg = make_tri(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto run = compute_dfs_tree(gg.graph, gg.root_hint);
+    benchmark::DoNotOptimize(run.build.phases);
+  }
+}
+BENCHMARK(BM_WholeDfs)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// E2 — separator quality: the marked set must be a tree path whose removal
+// leaves components of at most 2n/3 (Definition of a cycle separator +
+// Lemma 5). Reports the balance distribution over many seeds per family.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plansep;
+  const bool quick = bench::quick_mode(argc, argv);
+  const int seeds = quick ? 3 : 12;
+  const int n = quick ? 150 : 600;
+
+  std::printf("E2: separator balance across %d seeds per family\n\n", seeds);
+  Table table({"family", "n", "ok", "bal.mean", "bal.max", "sep.mean",
+               "sep/sqrt(n)"});
+  for (planar::Family f : planar::all_families()) {
+    std::vector<double> balances;
+    std::vector<double> sizes;
+    bool all_ok = true;
+    int real_n = 0;
+    for (int seed = 1; seed <= seeds; ++seed) {
+      const auto gg = planar::make_instance(f, n, seed);
+      real_n = gg.graph.num_nodes();
+      shortcuts::PartwiseEngine engine(gg.graph, gg.root_hint);
+      std::vector<int> part(gg.graph.num_nodes(), 0);
+      sub::PartSet ps = sub::build_part_set(gg.graph, part, 1, engine);
+      separator::SeparatorEngine se(engine);
+      const auto res = se.compute(ps);
+      const auto chk = separator::check_separator(ps, 0, res.parts[0]);
+      all_ok = all_ok && chk.ok();
+      balances.push_back(chk.balance);
+      sizes.push_back(static_cast<double>(res.parts[0].path.size()));
+    }
+    const Summary bal = summarize(balances);
+    const Summary sz = summarize(sizes);
+    table.add(planar::family_name(f), real_n, all_ok, bal.mean, bal.max,
+              sz.mean, sz.mean / std::sqrt(static_cast<double>(real_n)));
+  }
+  table.print();
+  std::printf(
+      "\nPaper expectation: bal.max <= 0.667 everywhere (Lemma 5); separator\n"
+      "sizes are tree paths — unlike Lipton–Tarjan they need not be\n"
+      "O(sqrt(n)) (cycle separators trade size for distributed simplicity).\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// E5 — the deterministic subroutines (Lemmas 9, 11–19): per-subroutine
+// round costs as a function of n and D. Each column is one building block
+// of the separator/DFS machinery:
+//   bfs      — global BFS wave (engine setup; message-level)
+//   boruvka  — spanning forest of the whole graph (Lemma 9)
+//   orders   — LEFT/RIGHT-DFS-ORDER fragment merging (Lemma 11)
+//   pa       — one part-wise aggregation over the whole graph (Prop. 4)
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plansep;
+  const bool quick = bench::quick_mode(argc, argv);
+
+  std::printf("E5: subroutine round costs (measured / charged)\n\n");
+  Table table({"family", "n", "D<=", "bfs", "boruvka.m", "boruvka.c",
+               "orders.m", "orders.c", "pa.m", "pa.c"});
+  for (const auto& pt : bench::standard_sweep(quick)) {
+    const auto gg = planar::make_instance(pt.family, pt.n, 1);
+    shortcuts::PartwiseEngine engine(gg.graph, gg.root_hint);
+    std::vector<int> part(gg.graph.num_nodes(), 0);
+
+    sub::SpanningForest forest = sub::boruvka_forest(
+        gg.graph, part, 1, [](planar::EdgeId) { return 0; }, engine);
+    sub::PartSet ps = sub::part_set_from_forest(
+        gg.graph, part, 1, forest.parent_dart, forest.root, engine);
+    const shortcuts::RoundCost orders = sub::charge_dfs_orders(engine, ps);
+
+    std::vector<std::int64_t> ones(gg.graph.num_nodes(), 1);
+    const auto pa = engine.aggregate(part, ones, shortcuts::AggOp::kSum);
+
+    table.add(planar::family_name(pt.family), gg.graph.num_nodes(),
+              engine.diameter_bound(), engine.setup_cost().measured,
+              forest.cost.measured, forest.cost.charged, orders.measured,
+              orders.charged, pa.cost.measured, pa.cost.charged);
+  }
+  table.print();
+  std::printf(
+      "\nPaper expectation: every column = Otilde(D): bfs ~= D exactly;\n"
+      "boruvka and orders pay O(log n) aggregation phases each.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+#pragma once
+
+// Shared helpers for the experiment binaries (bench/). Each binary
+// regenerates one experiment of EXPERIMENTS.md and prints a plain-text
+// table; `--quick` shrinks the sweep for smoke runs.
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/plansep.hpp"
+#include "util/table.hpp"
+
+namespace plansep::bench {
+
+inline bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return false;
+}
+
+inline double polylog2(int n) {
+  const double l = std::log2(std::max(2, n));
+  return l * l;
+}
+
+struct SweepPoint {
+  planar::Family family;
+  int n;
+};
+
+inline std::vector<SweepPoint> standard_sweep(bool quick) {
+  using planar::Family;
+  if (quick) {
+    return {{Family::kGrid, 100},
+            {Family::kTriangulation, 200},
+            {Family::kOuterplanar, 120}};
+  }
+  return {
+      {Family::kGrid, 400},        {Family::kGrid, 1600},
+      {Family::kGrid, 6400},       {Family::kGridDiagonals, 1600},
+      {Family::kCylinder, 1600},   {Family::kTriangulation, 500},
+      {Family::kTriangulation, 2000}, {Family::kTriangulation, 8000},
+      {Family::kRandomPlanar, 2000},  {Family::kOuterplanar, 1000},
+      {Family::kCycle, 600},       {Family::kRandomTree, 2000},
+  };
+}
+
+}  // namespace plansep::bench

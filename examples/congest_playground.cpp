@@ -1,0 +1,44 @@
+// The CONGEST simulator, hands on: run the message-level BFS wave and
+// Awerbuch's token DFS on the same network and watch rounds vs messages.
+// Demonstrates the NodeProgram API the baselines are written against.
+//
+//   ./examples/congest_playground [n]
+
+#include <cstdio>
+#include <cmath>
+#include <cstdlib>
+
+#include "core/plansep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plansep;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 900;
+
+  struct Net {
+    const char* name;
+    planar::GeneratedGraph gg;
+  };
+  Rng rng(11);
+  Net nets[] = {
+      {"grid", planar::grid(static_cast<int>(std::sqrt(n)),
+                            static_cast<int>(std::sqrt(n)))},
+      {"triangulation", planar::stacked_triangulation(n, rng)},
+      {"cycle", planar::cycle(n)},
+  };
+
+  std::printf("%-14s %8s %8s | %10s %10s | %10s %10s\n", "network", "n", "m",
+              "bfs.rnds", "bfs.msgs", "dfs.rnds", "dfs.msgs");
+  for (const Net& net : nets) {
+    const auto& g = net.gg.graph;
+    const auto bfs = congest::distributed_bfs(g, net.gg.root_hint);
+    const auto dfs = baselines::awerbuch_dfs(g, net.gg.root_hint);
+    std::printf("%-14s %8d %8d | %10d %10lld | %10d %10lld\n", net.name,
+                g.num_nodes(), g.num_edges(), bfs.rounds, bfs.messages,
+                dfs.rounds, dfs.messages);
+  }
+  std::printf(
+      "\nBFS finishes in ~D rounds (one wave); Awerbuch's token DFS needs\n"
+      "~4n rounds regardless of D — the gap the paper's Otilde(D) algorithm\n"
+      "closes deterministically.\n");
+  return 0;
+}

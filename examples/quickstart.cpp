@@ -1,0 +1,59 @@
+// Quickstart: build a planar graph, compute a deterministic cycle
+// separator (Theorem 1) and a DFS tree (Theorem 2), and print what the
+// library gives you back.
+//
+//   ./examples/quickstart [side]
+
+#include <cstdio>
+#include <cmath>
+#include <cstdlib>
+
+#include "core/plansep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plansep;
+  const int side = argc > 1 ? std::atoi(argv[1]) : 20;
+
+  // A side×side grid: n = side^2 nodes, diameter 2(side-1).
+  const planar::GeneratedGraph gg = planar::grid(side, side);
+  const planar::EmbeddedGraph& g = gg.graph;
+  std::printf("graph: %dx%d grid, n=%d, m=%d\n", side, side, g.num_nodes(),
+              g.num_edges());
+
+  // --- Cycle separator (Theorem 1).
+  const SeparatorRun sep = compute_cycle_separator(g, gg.root_hint);
+  std::printf("\ncycle separator (phase %d):\n", sep.separator.phase);
+  std::printf("  path of %zu nodes from %d to %d%s\n",
+              sep.separator.path.size(), sep.separator.endpoint_a,
+              sep.separator.endpoint_b,
+              sep.separator.closing_edge != planar::kNoEdge
+                  ? " (closed by a real edge)"
+                  : " (virtual closing edge)");
+  std::printf("  balance: largest remaining component = %.1f%% of n (<= 66.7%%)\n",
+              100.0 * sep.check.balance);
+  std::printf("  rounds: measured=%lld charged=%lld  (D <= %d)\n",
+              sep.cost.measured, sep.cost.charged, sep.diameter_bound);
+
+  // --- DFS tree (Theorem 2).
+  const DfsRun dfs = compute_dfs_tree(g, gg.root_hint);
+  std::printf("\nDFS tree rooted at %d:\n", gg.root_hint);
+  std::printf("  valid DFS tree: %s (every edge joins ancestor/descendant)\n",
+              dfs.check.ok() ? "yes" : "NO");
+  int max_depth = 0;
+  for (planar::NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_depth = std::max(max_depth, dfs.build.tree.depth(v));
+  }
+  std::printf("  depth: %d, outer phases: %d (log2 n = %.1f)\n", max_depth,
+              dfs.build.phases, std::log2(std::max(2, g.num_nodes())));
+  std::printf("  rounds: measured=%lld charged=%lld\n",
+              dfs.build.cost.measured, dfs.build.cost.charged);
+
+  // Every node knows its parent and depth — the distributed output format.
+  std::printf("\nfirst few nodes (id: parent, depth):\n");
+  for (planar::NodeId v = 0; v < std::min<planar::NodeId>(8, g.num_nodes());
+       ++v) {
+    std::printf("  %d: parent=%d depth=%d\n", v, dfs.build.tree.parent(v),
+                dfs.build.tree.depth(v));
+  }
+  return dfs.check.ok() && sep.check.ok() ? 0 : 1;
+}

@@ -1,0 +1,138 @@
+#include "baselines/awerbuch.hpp"
+
+#include "util/check.hpp"
+
+namespace plansep::baselines {
+
+namespace {
+
+using congest::Ctx;
+using congest::EmbeddedGraph;
+using congest::Incoming;
+using congest::Message;
+using congest::NodeId;
+
+// Message tags.
+constexpr std::uint8_t kVisited = 1;  // "I joined the DFS tree"
+constexpr std::uint8_t kToken = 2;    // forward token; a = sender depth
+constexpr std::uint8_t kReturn = 3;   // token returns to parent
+
+class AwerbuchProgram : public congest::NodeProgram {
+ public:
+  AwerbuchProgram(NodeId root, AwerbuchResult* out) : root_(root), out_(out) {}
+
+  std::vector<NodeId> initial_nodes(const EmbeddedGraph& g) override {
+    g_ = &g;
+    const std::size_t n = static_cast<std::size_t>(g.num_nodes());
+    out_->parent.assign(n, planar::kNoNode);
+    out_->depth.assign(n, -1);
+    out_->depth[static_cast<std::size_t>(root_)] = 0;
+    visited_.assign(n, 0);
+    neighbor_visited_.assign(n, {});
+    holding_token_.assign(n, 0);
+    announced_.assign(n, 0);
+    visited_[static_cast<std::size_t>(root_)] = 1;
+    holding_token_[static_cast<std::size_t>(root_)] = 1;
+    return {root_};
+  }
+
+  void round(NodeId v, const std::vector<Incoming>& inbox, Ctx& ctx) override {
+    auto& known = neighbor_visited_[static_cast<std::size_t>(v)];
+    if (known.empty()) {
+      known.assign(static_cast<std::size_t>(g_->degree(v)), 0);
+    }
+    bool token_arrived = false;
+    for (const Incoming& in : inbox) {
+      if (in.msg.tag == kVisited) {
+        mark_known(v, in.from);
+      } else if (in.msg.tag == kToken) {
+        PLANSEP_CHECK(!visited_[static_cast<std::size_t>(v)]);
+        visited_[static_cast<std::size_t>(v)] = 1;
+        out_->parent[static_cast<std::size_t>(v)] = in.from;
+        out_->depth[static_cast<std::size_t>(v)] =
+            static_cast<int>(in.msg.a) + 1;
+        mark_known(v, in.from);
+        holding_token_[static_cast<std::size_t>(v)] = 1;
+        token_arrived = true;
+      } else if (in.msg.tag == kReturn) {
+        mark_known(v, in.from);
+        holding_token_[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+    if (!holding_token_[static_cast<std::size_t>(v)]) return;
+
+    // First: announce "visited" to all neighbors and pause one round so
+    // the notices land before the token moves on (Awerbuch's trick).
+    if (!announced_[static_cast<std::size_t>(v)]) {
+      announced_[static_cast<std::size_t>(v)] = 1;
+      Message m;
+      m.tag = kVisited;
+      const NodeId p = out_->parent[static_cast<std::size_t>(v)];
+      for (planar::DartId d : g_->rotation(v)) {
+        if (g_->head(d) != p) ctx.send(g_->head(d), m);
+      }
+      ctx.wake_next_round();
+      return;
+    }
+    if (token_arrived) {
+      // Notices sent on a previous visit are already out; but notices from
+      // concurrent neighbors may arrive this very round — move next round.
+      ctx.wake_next_round();
+      return;
+    }
+
+    // Move the token: to the first neighbor not known visited, else back.
+    const auto rot = g_->rotation(v);
+    for (int i = 0; i < static_cast<int>(rot.size()); ++i) {
+      if (known[static_cast<std::size_t>(i)]) continue;
+      Message m;
+      m.tag = kToken;
+      m.a = out_->depth[static_cast<std::size_t>(v)];
+      holding_token_[static_cast<std::size_t>(v)] = 0;
+      ctx.send(g_->head(rot[static_cast<std::size_t>(i)]), m);
+      return;
+    }
+    const NodeId p = out_->parent[static_cast<std::size_t>(v)];
+    holding_token_[static_cast<std::size_t>(v)] = 0;
+    if (p != planar::kNoNode) {
+      Message m;
+      m.tag = kReturn;
+      ctx.send(p, m);
+    }
+    // Root with no unvisited neighbors: DFS complete (quiescence).
+  }
+
+ private:
+  void mark_known(NodeId v, NodeId w) {
+    const auto rot = g_->rotation(v);
+    for (int i = 0; i < static_cast<int>(rot.size()); ++i) {
+      if (g_->head(rot[static_cast<std::size_t>(i)]) == w) {
+        neighbor_visited_[static_cast<std::size_t>(v)][static_cast<std::size_t>(i)] = 1;
+        return;
+      }
+    }
+    PLANSEP_CHECK_MSG(false, "unknown neighbor");
+  }
+
+  NodeId root_;
+  AwerbuchResult* out_;
+  const EmbeddedGraph* g_ = nullptr;
+  std::vector<char> visited_;
+  std::vector<std::vector<char>> neighbor_visited_;
+  std::vector<char> holding_token_;
+  std::vector<char> announced_;
+};
+
+}  // namespace
+
+AwerbuchResult awerbuch_dfs(const EmbeddedGraph& g, NodeId root) {
+  AwerbuchResult out;
+  out.root = root;
+  AwerbuchProgram prog(root, &out);
+  congest::Network net(g);
+  out.rounds = net.run(prog);
+  out.messages = net.messages_sent();
+  return out;
+}
+
+}  // namespace plansep::baselines

@@ -1,0 +1,28 @@
+#pragma once
+
+// Awerbuch's distributed DFS (Information Processing Letters 1985) — the
+// classic O(n)-round baseline the paper improves on (§1.1).
+//
+// A token performs the DFS. On its first arrival at a node v, v notifies
+// all neighbors that it is visited and waits one round for the notices to
+// land; the token then moves to a neighbor not known to be visited, or
+// returns to the parent. Every node is visited once and each visit costs
+// O(1) rounds, for Θ(n) rounds total — independent of the diameter.
+// Fully message-level on the CONGEST simulator.
+
+#include "congest/network.hpp"
+
+namespace plansep::baselines {
+
+struct AwerbuchResult {
+  congest::NodeId root = planar::kNoNode;
+  std::vector<congest::NodeId> parent;
+  std::vector<int> depth;
+  int rounds = 0;
+  long long messages = 0;
+};
+
+AwerbuchResult awerbuch_dfs(const congest::EmbeddedGraph& g,
+                            congest::NodeId root);
+
+}  // namespace plansep::baselines

@@ -1,0 +1,86 @@
+#include "congest/bfs_tree.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace plansep::congest {
+
+namespace {
+
+/// BFS wave: the root sends "join" to all neighbors; the first message a
+/// node receives sets its parent and depth, after which it forwards the
+/// wave. Tags: 0 = join (a = sender depth).
+class BfsProgram : public NodeProgram {
+ public:
+  explicit BfsProgram(NodeId root, BfsResult* out) : root_(root), out_(out) {}
+
+  std::vector<NodeId> initial_nodes(const EmbeddedGraph& g) override {
+    out_->parent_dart.assign(static_cast<std::size_t>(g.num_nodes()),
+                             planar::kNoDart);
+    out_->depth.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+    out_->depth[static_cast<std::size_t>(root_)] = 0;
+    g_ = &g;
+    return {root_};
+  }
+
+  void round(NodeId v, const std::vector<Incoming>& inbox, Ctx& ctx) override {
+    auto& depth = out_->depth[static_cast<std::size_t>(v)];
+    NodeId parent = planar::kNoNode;
+    if (v != root_) {
+      if (depth >= 0) return;  // already joined; ignore duplicate waves
+      // Adopt the first sender (ties broken by arrival order, which is
+      // rotation-deterministic).
+      PLANSEP_CHECK(!inbox.empty());
+      const Incoming& first = inbox.front();
+      depth = static_cast<int>(first.msg.a) + 1;
+      out_->parent_dart[static_cast<std::size_t>(v)] =
+          g_->find_dart(v, first.from);
+      out_->height = std::max(out_->height, depth);
+      parent = first.from;
+    }
+    for (DartId d : g_->rotation(v)) {
+      const NodeId w = g_->head(d);
+      if (w == parent) continue;
+      Message m;
+      m.tag = 0;
+      m.a = depth;
+      ctx.send(w, m);
+    }
+  }
+
+ private:
+  NodeId root_;
+  BfsResult* out_;
+  const EmbeddedGraph* g_ = nullptr;
+};
+
+}  // namespace
+
+BfsResult distributed_bfs(const EmbeddedGraph& g, NodeId root) {
+  BfsResult out;
+  out.root = root;
+  BfsProgram prog(root, &out);
+  Network net(g);
+  out.rounds = net.run(prog);
+  out.messages = net.messages_sent();
+  return out;
+}
+
+DiameterEstimate estimate_diameter(const EmbeddedGraph& g, NodeId root) {
+  const BfsResult first = distributed_bfs(g, root);
+  NodeId far = root;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (first.depth[static_cast<std::size_t>(v)] >
+        first.depth[static_cast<std::size_t>(far)]) {
+      far = v;
+    }
+  }
+  const BfsResult second = distributed_bfs(g, far);
+  DiameterEstimate est;
+  est.diameter_lb = second.height;
+  est.rounds = first.rounds + second.rounds;
+  return est;
+}
+
+}  // namespace plansep::congest

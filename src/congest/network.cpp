@@ -1,0 +1,81 @@
+#include "congest/network.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace plansep::congest {
+
+void Ctx::send(NodeId neighbor, const Message& msg) {
+  net_->do_send(self_, neighbor, msg, round_);
+}
+
+void Ctx::wake_next_round() {
+  if (!net_->woken_[static_cast<std::size_t>(self_)]) {
+    net_->woken_[static_cast<std::size_t>(self_)] = 1;
+    net_->active_next_.push_back(self_);
+  }
+}
+
+Network::Network(const EmbeddedGraph& g) : g_(&g) {
+  inbox_.resize(static_cast<std::size_t>(g.num_nodes()));
+  woken_.assign(static_cast<std::size_t>(g.num_nodes()), 0);
+  sent_round_.assign(static_cast<std::size_t>(g.num_darts()), -1);
+}
+
+void Network::do_send(NodeId from, NodeId to, const Message& msg, int round) {
+  const DartId d = g_->find_dart(from, to);
+  PLANSEP_CHECK_MSG(d != planar::kNoDart, "message sent to a non-neighbor");
+  PLANSEP_CHECK_MSG(sent_round_[static_cast<std::size_t>(d)] != round,
+                    "CONGEST bandwidth exceeded: two messages on one edge");
+  sent_round_[static_cast<std::size_t>(d)] = round;
+  ++messages_sent_;
+  // Staged for delivery after every node has taken its turn this round —
+  // synchronous semantics: messages sent in round r are readable in r+1.
+  staged_.push_back({to, Incoming{from, msg}});
+}
+
+int Network::run(NodeProgram& prog, int max_rounds) {
+  for (auto& b : inbox_) b.clear();
+  std::fill(woken_.begin(), woken_.end(), 0);
+  std::fill(sent_round_.begin(), sent_round_.end(), -1);
+  active_next_.clear();
+  staged_.clear();
+  messages_sent_ = 0;
+
+  std::vector<NodeId> active = prog.initial_nodes(*g_);
+  std::sort(active.begin(), active.end());
+  active.erase(std::unique(active.begin(), active.end()), active.end());
+
+  Ctx ctx;
+  ctx.net_ = this;
+
+  int round = 0;
+  while (!active.empty() && round < max_rounds) {
+    active_next_.clear();
+    staged_.clear();
+    for (NodeId v : active) {
+      auto& box = inbox_[static_cast<std::size_t>(v)];
+      std::vector<Incoming> mail;
+      mail.swap(box);
+      ctx.self_ = v;
+      ctx.round_ = round;
+      prog.round(v, mail, ctx);
+    }
+    // Deliver staged messages; recipients become active next round.
+    for (auto& [to, inc] : staged_) {
+      auto& box = inbox_[static_cast<std::size_t>(to)];
+      if (box.empty() && !woken_[static_cast<std::size_t>(to)]) {
+        woken_[static_cast<std::size_t>(to)] = 1;
+        active_next_.push_back(to);
+      }
+      box.push_back(inc);
+    }
+    active = active_next_;
+    for (NodeId v : active) woken_[static_cast<std::size_t>(v)] = 0;
+    ++round;
+  }
+  return round;
+}
+
+}  // namespace plansep::congest

@@ -1,0 +1,99 @@
+#pragma once
+
+// Synchronous CONGEST network simulator.
+//
+// The CONGEST model (§1): nodes run a synchronous, failure-free protocol;
+// per round, each node may send one O(log n)-bit message over each incident
+// link. A Message carries a tag plus three 64-bit words — a fixed small
+// number of machine words, i.e. O(log n) bits; the per-edge per-round
+// budget of a single message is enforced.
+//
+// Execution is event-driven: a node's round() handler runs only when it
+// has incoming messages or explicitly requested a wake-up, so quiescent
+// regions cost nothing. The network stops at global quiescence (no
+// messages in flight, no wake-ups) or after max_rounds.
+
+#include <cstdint>
+#include <vector>
+
+#include "planar/embedded_graph.hpp"
+
+namespace plansep::congest {
+
+using planar::DartId;
+using planar::EmbeddedGraph;
+using planar::NodeId;
+
+struct Message {
+  std::uint8_t tag = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+};
+
+struct Incoming {
+  NodeId from = planar::kNoNode;
+  Message msg;
+};
+
+class Network;
+
+/// Per-node send/wake interface handed to NodeProgram::round.
+class Ctx {
+ public:
+  /// Sends msg to the given neighbor this round. At most one message per
+  /// neighbor per round (CONGEST bandwidth); violations throw.
+  void send(NodeId neighbor, const Message& msg);
+
+  /// Ensures this node's round() is invoked next round even without mail.
+  void wake_next_round();
+
+  /// Ensures node v runs in round 0 (call from init()).
+  NodeId self() const { return self_; }
+  int round() const { return round_; }
+
+ private:
+  friend class Network;
+  Network* net_ = nullptr;
+  NodeId self_ = planar::kNoNode;
+  int round_ = 0;
+};
+
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+
+  /// Nodes that must act in round 0 (e.g. the BFS root).
+  virtual std::vector<NodeId> initial_nodes(const EmbeddedGraph& g) = 0;
+
+  /// Invoked for every node that has mail or requested a wake-up.
+  virtual void round(NodeId v, const std::vector<Incoming>& inbox,
+                     Ctx& ctx) = 0;
+};
+
+class Network {
+ public:
+  explicit Network(const EmbeddedGraph& g);
+
+  /// Runs prog until quiescence; returns the number of rounds executed.
+  int run(NodeProgram& prog, int max_rounds = 1 << 26);
+
+  long long messages_sent() const { return messages_sent_; }
+  const EmbeddedGraph& graph() const { return *g_; }
+
+ private:
+  friend class Ctx;
+  void do_send(NodeId from, NodeId to, const Message& msg, int round);
+
+  const EmbeddedGraph* g_;
+  long long messages_sent_ = 0;
+  // Per-round delivery state.
+  std::vector<std::vector<Incoming>> inbox_;
+  std::vector<char> woken_;
+  std::vector<NodeId> active_next_;
+  std::vector<std::pair<NodeId, Incoming>> staged_;
+  // Per (from -> to) sent-this-round guard, keyed by dart id.
+  std::vector<int> sent_round_;
+};
+
+}  // namespace plansep::congest

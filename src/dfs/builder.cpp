@@ -1,0 +1,138 @@
+#include "dfs/builder.hpp"
+
+#include <algorithm>
+
+#include "subroutines/components.hpp"
+#include "subroutines/part_context.hpp"
+#include "util/check.hpp"
+
+namespace plansep::dfs {
+
+DfsBuildResult build_dfs_tree(const planar::EmbeddedGraph& g, NodeId root,
+                              shortcuts::PartwiseEngine& engine) {
+  DfsBuildResult out{PartialDfsTree(g, root), 0, {}, {}, {}};
+  const NodeId n = g.num_nodes();
+
+  // Precomputation: the planar embedding (Proposition 1, black box) plus
+  // the engine's global BFS tree.
+  out.cost += engine.setup_cost();
+  out.cost += engine.blackbox_charge();
+
+  separator::SeparatorEngine sep_engine(engine);
+
+  while (out.tree.size() < n) {
+    PLANSEP_CHECK_MSG(out.phases < 200, "DFS recursion did not converge");
+    ++out.phases;
+    PhaseInfo info;
+
+    // Components of G − T_d.
+    const sub::Components comps = sub::connected_components(
+        g, [&](NodeId v) { return !out.tree.contains(v); });
+    out.cost += engine.blackbox_charge();
+    info.components = comps.count;
+    for (int s : comps.size) info.max_component = std::max(info.max_component, s);
+
+    // Tiny components (≤ 3 nodes) are absorbed directly by the DFS-RULE:
+    // attach a greedy path from the component's deepest-anchored node; any
+    // leftover node is picked up in a later phase. This costs one shared
+    // aggregation and avoids spinning up the full separator machinery for
+    // components whose separator would be the whole component anyway.
+    std::vector<char> tiny(static_cast<std::size_t>(comps.count), 0);
+    int tiny_count = 0;
+    for (int c2 = 0; c2 < comps.count; ++c2) {
+      if (comps.size[static_cast<std::size_t>(c2)] <= 3) {
+        tiny[static_cast<std::size_t>(c2)] = 1;
+        ++tiny_count;
+      }
+    }
+    if (tiny_count > 0) {
+      std::vector<std::vector<NodeId>> members(
+          static_cast<std::size_t>(comps.count));
+      for (NodeId v = 0; v < n; ++v) {
+        if (out.tree.contains(v)) continue;
+        const int c2 = comps.label[static_cast<std::size_t>(v)];
+        if (tiny[static_cast<std::size_t>(c2)]) {
+          members[static_cast<std::size_t>(c2)].push_back(v);
+        }
+      }
+      for (int c2 = 0; c2 < comps.count; ++c2) {
+        if (!tiny[static_cast<std::size_t>(c2)]) continue;
+        const auto& mem = members[static_cast<std::size_t>(c2)];
+        // Anchor at the member with the deepest tree neighbor.
+        NodeId rc = planar::kNoNode;
+        int best = -1;
+        for (NodeId v : mem) {
+          const NodeId nb = out.tree.deepest_tree_neighbor(v);
+          if (nb != planar::kNoNode && out.tree.depth(nb) > best) {
+            best = out.tree.depth(nb);
+            rc = v;
+          }
+        }
+        PLANSEP_CHECK(rc != planar::kNoNode);
+        // Greedy path from rc within the component.
+        std::vector<NodeId> path{rc};
+        for (;;) {
+          NodeId next = planar::kNoNode;
+          for (NodeId w : mem) {
+            bool in_path = false;
+            for (NodeId x : path) in_path |= (x == w);
+            if (!in_path && g.has_edge(path.back(), w)) {
+              next = w;
+              break;
+            }
+          }
+          if (next == planar::kNoNode) break;
+          path.push_back(next);
+        }
+        out.tree.attach_path(out.tree.deepest_tree_neighbor(rc), path);
+      }
+      out.cost += engine.blackbox_charge();
+      out.cost += shortcuts::local_exchange(1);
+      if (out.tree.size() == n) {
+        out.phase_info.push_back(info);
+        break;
+      }
+    }
+
+    std::vector<int> part(static_cast<std::size_t>(n), -1);
+    std::vector<int> part_of_comp(static_cast<std::size_t>(comps.count), -1);
+    int big_parts = 0;
+    for (int c2 = 0; c2 < comps.count; ++c2) {
+      if (!tiny[static_cast<std::size_t>(c2)]) {
+        part_of_comp[static_cast<std::size_t>(c2)] = big_parts++;
+      }
+    }
+    if (big_parts == 0) {
+      out.phase_info.push_back(info);
+      continue;
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (!out.tree.contains(v)) {
+        part[static_cast<std::size_t>(v)] = part_of_comp[static_cast<std::size_t>(
+            comps.label[static_cast<std::size_t>(v)])];
+      }
+    }
+
+    // Step 1: cycle separators of every component (Theorem 1).
+    sub::PartSet ps = sub::build_part_set(g, part, big_parts, engine);
+    separator::SeparatorResult sep = sep_engine.compute(ps);
+    info.separator_cost = ps.cost;
+    info.separator_cost += sep.cost;
+    out.cost += info.separator_cost;
+    for (std::size_t i = 0; i < sep.stats.phase_counts.size(); ++i) {
+      out.separator_stats.phase_counts[i] += sep.stats.phase_counts[i];
+    }
+    out.separator_stats.parts += sep.stats.parts;
+    out.separator_stats.candidates_tried += sep.stats.candidates_tried;
+    out.separator_stats.first_candidate_hits += sep.stats.first_candidate_hits;
+
+    // Step 2: join the separators to T_d (Lemma 2).
+    info.join = join_separators(out.tree, sep.marked, engine);
+    out.cost += info.join.cost;
+
+    out.phase_info.push_back(info);
+  }
+  return out;
+}
+
+}  // namespace plansep::dfs

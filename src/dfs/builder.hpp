@@ -1,0 +1,37 @@
+#pragma once
+
+// Theorem 2: deterministic DFS tree construction in Õ(D) rounds.
+//
+// The main algorithm (§3.2, §6.2): starting from T_d = {r}, each outer
+// phase computes, in parallel for every component C of G − T_d, a cycle
+// separator (Theorem 1) and joins it to T_d by the DFS-RULE (Lemma 2).
+// Separator balance shrinks the largest component by a factor ≥ 1/3 per
+// phase, so O(log n) phases suffice; each phase costs Õ(D) rounds.
+
+#include "dfs/join.hpp"
+#include "dfs/partial_tree.hpp"
+#include "separator/engine.hpp"
+
+namespace plansep::dfs {
+
+struct PhaseInfo {
+  int components = 0;
+  int max_component = 0;
+  JoinResult join;
+  RoundCost separator_cost;
+};
+
+struct DfsBuildResult {
+  PartialDfsTree tree;
+  int phases = 0;
+  RoundCost cost;  // everything, including the embedding precomputation charge
+  separator::SeparatorStats separator_stats;
+  std::vector<PhaseInfo> phase_info;
+};
+
+/// Builds a DFS tree of g rooted at `root`. g must be connected and
+/// carry a planar embedding (its rotation system).
+DfsBuildResult build_dfs_tree(const planar::EmbeddedGraph& g, NodeId root,
+                              shortcuts::PartwiseEngine& engine);
+
+}  // namespace plansep::dfs

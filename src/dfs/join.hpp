@@ -1,0 +1,41 @@
+#pragma once
+
+// JOIN-PROBLEM (Lemma 2, §6.1.2): absorb every marked separator node into
+// the partial DFS tree by the DFS-RULE.
+//
+// Per iteration, in every component of G − T_d that still holds marked
+// nodes (all components proceed in parallel):
+//   1. the attachment node r_C — a node with the deepest T_d-neighbor — is
+//      found (one aggregation after a one-round neighbor exchange);
+//   2. a 0/1-MST of the component is built (marked-marked edges weigh 0,
+//      Lemma 9), rooted at r_C (RE-ROOT, Lemma 19), which keeps every
+//      surviving marked fragment contiguous as a tree path;
+//   3. the endpoints of the component's marked path are identified, their
+//      LCA z1 taken, and the endpoint h farthest from z1 chosen — the tree
+//      path r_C..h then contains at least half of the fragment's marked
+//      nodes (the longer leg below z1);
+//   4. the path r_C..h is marked (MARK-PATH, Lemma 13) and attached to T_d
+//      below r_C's deepest tree neighbor.
+// Each iteration halves the number of unabsorbed marked nodes per
+// fragment, so O(log n) iterations suffice; each costs Õ(D).
+
+#include "dfs/partial_tree.hpp"
+#include "shortcuts/partwise.hpp"
+
+namespace plansep::dfs {
+
+using shortcuts::RoundCost;
+
+struct JoinResult {
+  int iterations = 0;
+  long long nodes_added = 0;
+  RoundCost cost;
+};
+
+/// Adds every node of `marked` (a union of per-component cycle separators
+/// of the components of G − T_d) to T_d following the DFS-RULE. Other
+/// component nodes may be added as well (the connecting paths).
+JoinResult join_separators(PartialDfsTree& tree, const std::vector<char>& marked,
+                           shortcuts::PartwiseEngine& engine);
+
+}  // namespace plansep::dfs

@@ -1,0 +1,47 @@
+#include "dfs/partial_tree.hpp"
+
+#include "util/check.hpp"
+
+namespace plansep::dfs {
+
+PartialDfsTree::PartialDfsTree(const EmbeddedGraph& g, NodeId root)
+    : g_(&g), root_(root) {
+  parent_.assign(static_cast<std::size_t>(g.num_nodes()), planar::kNoNode);
+  depth_.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+  depth_[static_cast<std::size_t>(root)] = 0;
+  size_ = 1;
+}
+
+void PartialDfsTree::attach_path(NodeId anchor,
+                                 const std::vector<NodeId>& path) {
+  PLANSEP_CHECK(!path.empty());
+  PLANSEP_CHECK_MSG(contains(anchor), "anchor must be in the tree");
+  PLANSEP_CHECK_MSG(g_->has_edge(anchor, path.front()),
+                    "anchor must neighbor the path head");
+  NodeId prev = anchor;
+  for (NodeId v : path) {
+    PLANSEP_CHECK_MSG(!contains(v), "path node already in the tree");
+    PLANSEP_CHECK_MSG(g_->has_edge(prev, v), "path must follow graph edges");
+    parent_[static_cast<std::size_t>(v)] = prev;
+    depth_[static_cast<std::size_t>(v)] =
+        depth_[static_cast<std::size_t>(prev)] + 1;
+    ++size_;
+    prev = v;
+  }
+}
+
+NodeId PartialDfsTree::deepest_tree_neighbor(NodeId v) const {
+  NodeId best = planar::kNoNode;
+  for (planar::DartId d : g_->rotation(v)) {
+    const NodeId w = g_->head(d);
+    if (!contains(w)) continue;
+    if (best == planar::kNoNode ||
+        depth_[static_cast<std::size_t>(w)] >
+            depth_[static_cast<std::size_t>(best)]) {
+      best = w;
+    }
+  }
+  return best;
+}
+
+}  // namespace plansep::dfs

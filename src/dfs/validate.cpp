@@ -1,0 +1,68 @@
+#include "dfs/validate.hpp"
+
+#include <vector>
+
+namespace plansep::dfs {
+
+DfsCheck check_dfs_tree(const planar::EmbeddedGraph& g,
+                        const PartialDfsTree& tree) {
+  DfsCheck out;
+  const NodeId n = g.num_nodes();
+
+  out.spanning = true;
+  out.depths_consistent = true;
+  std::vector<std::vector<NodeId>> children(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    if (!tree.contains(v)) {
+      out.spanning = false;
+      continue;
+    }
+    if (v == tree.root()) {
+      if (tree.depth(v) != 0) out.depths_consistent = false;
+      continue;
+    }
+    const NodeId p = tree.parent(v);
+    if (p == planar::kNoNode || !tree.contains(p) || !g.has_edge(p, v)) {
+      out.spanning = false;
+      continue;
+    }
+    if (tree.depth(v) != tree.depth(p) + 1) out.depths_consistent = false;
+    children[static_cast<std::size_t>(p)].push_back(v);
+  }
+  if (!out.spanning) return out;
+
+  // Euler intervals for ancestor tests.
+  std::vector<int> tin(static_cast<std::size_t>(n), -1);
+  std::vector<int> tout(static_cast<std::size_t>(n), -1);
+  int clock = 0;
+  std::vector<std::pair<NodeId, std::size_t>> stack{{tree.root(), 0}};
+  tin[static_cast<std::size_t>(tree.root())] = clock++;
+  while (!stack.empty()) {
+    auto& [v, idx] = stack.back();
+    if (idx < children[static_cast<std::size_t>(v)].size()) {
+      const NodeId c = children[static_cast<std::size_t>(v)][idx++];
+      tin[static_cast<std::size_t>(c)] = clock++;
+      stack.emplace_back(c, 0);
+    } else {
+      tout[static_cast<std::size_t>(v)] = clock++;
+      stack.pop_back();
+    }
+  }
+  auto ancestor = [&](NodeId a, NodeId d) {
+    return tin[static_cast<std::size_t>(a)] <= tin[static_cast<std::size_t>(d)] &&
+           tout[static_cast<std::size_t>(d)] <= tout[static_cast<std::size_t>(a)];
+  };
+
+  out.dfs_property = true;
+  for (planar::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const NodeId a = g.edge_u(e);
+    const NodeId b = g.edge_v(e);
+    if (!ancestor(a, b) && !ancestor(b, a)) {
+      out.dfs_property = false;
+      ++out.violating_edges;
+    }
+  }
+  return out;
+}
+
+}  // namespace plansep::dfs

@@ -1,0 +1,22 @@
+#pragma once
+
+// DFS tree validation. A rooted spanning tree T of an undirected graph G
+// is a DFS tree iff every non-tree edge of G joins an ancestor/descendant
+// pair — the classic characterization the tests rely on.
+
+#include "dfs/partial_tree.hpp"
+
+namespace plansep::dfs {
+
+struct DfsCheck {
+  bool spanning = false;           // every node reached, parents consistent
+  bool depths_consistent = false;  // depth(v) == depth(parent)+1
+  bool dfs_property = false;       // all edges ancestor-related
+  long long violating_edges = 0;
+  bool ok() const { return spanning && depths_consistent && dfs_property; }
+};
+
+DfsCheck check_dfs_tree(const planar::EmbeddedGraph& g,
+                        const PartialDfsTree& tree);
+
+}  // namespace plansep::dfs

@@ -1,0 +1,33 @@
+#pragma once
+
+// Containment between fundamental faces, and the NOT-CONTAINED /
+// NOT-CONTAINS selections (Lemmas 17 and 18).
+//
+// A real fundamental edge f is contained in F_e when the whole face F_f
+// lies within F_e (V(F_f) ⊆ V(F_e)). Because a real edge cannot cross the
+// border of F_e, containment reduces to: both endpoints of f lie in
+// V(F_e), and at any border endpoint the dart of f opens into the inside
+// arc (dart_points_inside). Phase 4 needs a maximal weight->2n/3 edge that
+// contains no other such edge; Phase 5 needs an edge not contained in any
+// other.
+
+#include "faces/fundamental.hpp"
+
+namespace plansep::faces {
+
+/// True iff the face of `inner` lies within the face of `outer`
+/// (V(F_inner) ⊆ V(F_outer)). Both must be real fundamental edges of t;
+/// an edge is not considered contained in itself.
+bool face_contains(const RootedSpanningTree& t, const FundamentalEdge& outer,
+                   const FundamentalEdge& inner);
+
+/// An element of `edges` whose face is not contained in any other
+/// element's face. `edges` must be non-empty.
+FundamentalEdge pick_not_contained(const RootedSpanningTree& t,
+                                   const std::vector<FundamentalEdge>& edges);
+
+/// An element of `edges` whose face contains no other element's face.
+FundamentalEdge pick_not_contains(const RootedSpanningTree& t,
+                                  const std::vector<FundamentalEdge>& edges);
+
+}  // namespace plansep::faces

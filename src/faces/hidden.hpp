@@ -1,0 +1,29 @@
+#pragma once
+
+// Hidden nodes (Definition 4) and the compatibility characterization
+// (Lemma 6).
+//
+// A node z strictly inside F_e (e = uv) is *hidden* when some real
+// fundamental edge f = z1z2 contained in F_e has z inside F_f and either
+// (1) u is not an endpoint of f, or (2) u is an endpoint but f cuts off
+// part of T_u ∩ F_e (V(T_u) ∩ V(F_e) ⊄ V(F_f)). Lemma 6: a leaf z of T is
+// (T,F_e)-compatible with u iff it is not hidden.
+//
+// `hides` is the per-edge local test of the HIDDEN-PROBLEM (Lemma 16): the
+// endpoints of f decide it from their own data plus the broadcast data of
+// e and z.
+
+#include "faces/fundamental.hpp"
+
+namespace plansep::faces {
+
+/// True iff the real fundamental edge f hides z in F_e (Definition 4).
+bool hides(const RootedSpanningTree& t, const FundamentalEdge& fe,
+           const FundamentalEdge& f, NodeId z);
+
+/// All real fundamental edges hiding z in F_e (brute scan; the distributed
+/// algorithm evaluates `hides` at each edge in parallel).
+std::vector<FundamentalEdge> hiding_edges(const RootedSpanningTree& t,
+                                          const FundamentalEdge& fe, NodeId z);
+
+}  // namespace plansep::faces

@@ -1,0 +1,47 @@
+#include "faces/weights.hpp"
+
+#include "faces/membership.hpp"
+#include "util/check.hpp"
+
+namespace plansep::faces {
+
+bool uses_left_order(const FundamentalEdge& fe) {
+  // See the convention note in the header: the π_ℓ formula applies exactly
+  // when the edge leaves u clockwise-after the path child z (Lemma 4's
+  // t_u(v) > t_u(z) case).
+  PLANSEP_CHECK(fe.u_ancestor_of_v);
+  return !fe.left_oriented;
+}
+
+long long p_value_at_u(const RootedSpanningTree& t, const FundamentalEdge& fe) {
+  long long p = 0;
+  for (NodeId c : inside_children(t, fe, fe.u)) p += t.subtree_size(c);
+  return p;
+}
+
+long long p_value_at_v(const RootedSpanningTree& t, const FundamentalEdge& fe) {
+  long long p = 0;
+  for (NodeId c : inside_children(t, fe, fe.v)) p += t.subtree_size(c);
+  return p;
+}
+
+long long face_weight(const RootedSpanningTree& t, const FundamentalEdge& fe) {
+  const long long pu = p_value_at_u(t, fe);
+  const long long pv = p_value_at_v(t, fe);
+  if (!fe.u_ancestor_of_v) {
+    // Definition 2 case 1.
+    return pu + pv + t.pi_left(fe.v) -
+           (t.pi_left(fe.u) + t.subtree_size(fe.u)) + 1;
+  }
+  const NodeId z = fe.z;
+  if (uses_left_order(fe)) {
+    // Definition 2 case 2.1 (π_ℓ).
+    return pu + pv + (t.pi_left(fe.v) - t.pi_left(z)) -
+           (t.depth(fe.v) - t.depth(z));
+  }
+  // Definition 2 case 2.2 (π_r).
+  return pu + pv + (t.pi_right(fe.v) - t.pi_right(z)) -
+         (t.depth(fe.v) - t.depth(z));
+}
+
+}  // namespace plansep::faces

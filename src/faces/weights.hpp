@@ -1,0 +1,40 @@
+#pragma once
+
+// Definition 2: the deterministic weight ω(F_e) of a fundamental face.
+//
+// The weight is computable from data local to the endpoints of e: their
+// DFS-order positions π_ℓ/π_r, depths, subtree sizes, and the rotation
+// offsets of their incident darts (the p-values below). This is the paper's
+// first key technical contribution — a deterministic replacement for the
+// randomized face-weight estimation of Ghaffari–Parter.
+//
+// Convention note. Definition 1 labels an ancestor edge E-left when
+// t_u(v) < t_u(z), and Definition 2 pairs "left" with π_ℓ; however, the
+// proof of Lemma 4 derives the π_ℓ formula under t_u(v) > t_u(z). The two
+// statements cannot both hold; we resolve the discrepancy empirically: the
+// pairing implemented here (t_u(v) > t_u(z) ⟹ π_ℓ) is the one under which
+// ω(F_e) equals the region count of Lemmas 3/4 on every fundamental edge of
+// every test instance (see tests/faces_weights_test.cpp).
+
+#include "faces/fundamental.hpp"
+
+namespace plansep::faces {
+
+/// p_{F_e}(u): number of proper descendants of u lying inside F_e. These
+/// are the subtrees of children of u whose darts fall on the inside arcs of
+/// u's rotation (Claims 1 and 4). Locally computable by u given its
+/// children's subtree sizes.
+long long p_value_at_u(const RootedSpanningTree& t, const FundamentalEdge& fe);
+
+/// p_{F_e}(v): same at the deeper endpoint v.
+long long p_value_at_v(const RootedSpanningTree& t, const FundamentalEdge& fe);
+
+/// Whether Definition 2 case 2 uses the LEFT order π_ℓ for this
+/// ancestor-type edge (see convention note above).
+bool uses_left_order(const FundamentalEdge& fe);
+
+/// ω(F_e) per Definition 2. For u not an ancestor of v this equals |F̃_e|
+/// (Lemma 3); for an ancestor edge it equals |F̊_e| (Lemma 4).
+long long face_weight(const RootedSpanningTree& t, const FundamentalEdge& fe);
+
+}  // namespace plansep::faces

@@ -1,0 +1,40 @@
+#pragma once
+
+// Planarity testing + combinatorial embedding from an edge list — the
+// Demoucron–Malgrange–Pertuiset (DMP) algorithm, O(n²).
+//
+// The paper assumes a planar combinatorial embedding is available
+// (Proposition 1, computed distributively by Ghaffari–Haeupler in Õ(D)
+// rounds). Our generators build embeddings directly; this module provides
+// the general entry point: given any graph as an edge list, produce a
+// genus-0 rotation system or report non-planarity. It lets the library
+// accept arbitrary user graphs, and doubles as an independent validator
+// for the generators.
+//
+// Method: decompose into biconnected blocks; embed each block by DMP
+// (start from a cycle, repeatedly compute the bridges/fragments of the
+// embedded subgraph, place a fragment with the fewest admissible faces by
+// routing one of its paths through such a face); glue the blocks at the
+// articulation vertices (any interleaving of block rotations at a shared
+// vertex is planar). A fragment with no admissible face certifies
+// non-planarity.
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "planar/embedded_graph.hpp"
+
+namespace plansep::planar {
+
+/// Computes a planar combinatorial embedding of the simple graph given by
+/// (n, edges), or nullopt if the graph is not planar. Self-loops are
+/// rejected; duplicate edges are an error. The graph need not be
+/// connected.
+std::optional<EmbeddedGraph> planar_embedding(
+    NodeId n, const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+/// True iff the graph is planar (convenience wrapper).
+bool is_planar(NodeId n, const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+}  // namespace plansep::planar

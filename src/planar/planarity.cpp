@@ -1,0 +1,66 @@
+#include "planar/planarity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "planar/face_structure.hpp"
+#include "util/check.hpp"
+
+namespace plansep::planar {
+
+bool validate_embedding(const EmbeddedGraph& g) {
+  const FaceStructure fs(g);
+  return fs.euler_genus(g) == 0;
+}
+
+namespace {
+
+double cross(const Point& o, const Point& a, const Point& b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+bool on_segment(const Point& a, const Point& b, const Point& p) {
+  if (std::abs(cross(a, b, p)) > 1e-9) return false;
+  return p.x >= std::min(a.x, b.x) - 1e-12 &&
+         p.x <= std::max(a.x, b.x) + 1e-12 &&
+         p.y >= std::min(a.y, b.y) - 1e-12 &&
+         p.y <= std::max(a.y, b.y) + 1e-12;
+}
+
+bool segments_properly_intersect(const Point& a, const Point& b,
+                                 const Point& c, const Point& d) {
+  const double d1 = cross(c, d, a);
+  const double d2 = cross(c, d, b);
+  const double d3 = cross(a, b, c);
+  const double d4 = cross(a, b, d);
+  return ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+         ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0));
+}
+
+}  // namespace
+
+bool validate_straight_line(const EmbeddedGraph& g) {
+  PLANSEP_CHECK(g.has_coordinates());
+  const auto& pts = g.coordinates();
+  const EdgeId m = g.num_edges();
+  for (EdgeId e = 0; e < m; ++e) {
+    const NodeId a = g.edge_u(e);
+    const NodeId b = g.edge_v(e);
+    for (EdgeId f = e + 1; f < m; ++f) {
+      const NodeId c = g.edge_u(f);
+      const NodeId d = g.edge_v(f);
+      if (a == c || a == d || b == c || b == d) continue;
+      if (segments_properly_intersect(pts[a], pts[b], pts[c], pts[d])) {
+        return false;
+      }
+    }
+    // No vertex inside a non-incident edge.
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v == a || v == b) continue;
+      if (on_segment(pts[a], pts[b], pts[v])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace plansep::planar

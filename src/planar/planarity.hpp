@@ -1,0 +1,21 @@
+#pragma once
+
+// Validation helpers for embeddings.
+//
+// `validate_embedding` certifies that a rotation system is a plane
+// embedding via Euler's formula (genus 0). `validate_straight_line`
+// additionally checks, geometrically, that no two edges of a coordinate
+// embedding cross (O(m^2); intended for tests on small instances).
+
+#include "planar/embedded_graph.hpp"
+
+namespace plansep::planar {
+
+/// True iff the rotation system has Euler genus 0 (i.e., is planar).
+bool validate_embedding(const EmbeddedGraph& g);
+
+/// True iff no two edges properly intersect and no vertex lies in the
+/// interior of a non-incident edge. Requires coordinates.
+bool validate_straight_line(const EmbeddedGraph& g);
+
+}  // namespace plansep::planar

@@ -1,0 +1,98 @@
+#include "planar/region.hpp"
+
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace plansep::planar {
+
+RegionClassification classify_cycle_region(const EmbeddedGraph& g,
+                                           const FaceStructure& fs,
+                                           const std::vector<DartId>& cycle,
+                                           FaceId outer) {
+  PLANSEP_CHECK_MSG(!cycle.empty(), "cycle must be non-empty");
+  PLANSEP_CHECK(outer >= 0 && outer < fs.num_faces());
+
+  // Validate the walk is closed and over distinct edges.
+  std::vector<char> on_cycle_edge(static_cast<std::size_t>(g.num_edges()), 0);
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const DartId d = cycle[i];
+    const DartId next = cycle[(i + 1) % cycle.size()];
+    PLANSEP_CHECK_MSG(g.head(d) == g.tail(next), "cycle walk is not closed");
+    const EdgeId e = EmbeddedGraph::edge_of(d);
+    PLANSEP_CHECK_MSG(!on_cycle_edge[static_cast<std::size_t>(e)],
+                      "cycle repeats an edge");
+    on_cycle_edge[static_cast<std::size_t>(e)] = 1;
+  }
+
+  RegionClassification rc;
+  rc.face_side.assign(static_cast<std::size_t>(fs.num_faces()), Side::kInside);
+
+  // Dual BFS from the outer face, not crossing cycle edges.
+  std::vector<char> seen(static_cast<std::size_t>(fs.num_faces()), 0);
+  std::deque<FaceId> queue;
+  seen[static_cast<std::size_t>(outer)] = 1;
+  rc.face_side[static_cast<std::size_t>(outer)] = Side::kOutside;
+  queue.push_back(outer);
+  while (!queue.empty()) {
+    const FaceId f = queue.front();
+    queue.pop_front();
+    for (DartId d : fs.walk(f)) {
+      if (on_cycle_edge[static_cast<std::size_t>(EmbeddedGraph::edge_of(d))]) {
+        continue;
+      }
+      const FaceId nf = fs.face_of(EmbeddedGraph::rev(d));
+      if (!seen[static_cast<std::size_t>(nf)]) {
+        seen[static_cast<std::size_t>(nf)] = 1;
+        rc.face_side[static_cast<std::size_t>(nf)] = Side::kOutside;
+        queue.push_back(nf);
+      }
+    }
+  }
+
+  // Node classification.
+  rc.node_side.assign(static_cast<std::size_t>(g.num_nodes()), Side::kOutside);
+  std::vector<char> on_cycle_node(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (DartId d : cycle) {
+    on_cycle_node[static_cast<std::size_t>(g.tail(d))] = 1;
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (on_cycle_node[static_cast<std::size_t>(v)]) {
+      rc.node_side[static_cast<std::size_t>(v)] = Side::kOnCycle;
+      continue;
+    }
+    PLANSEP_CHECK_MSG(g.degree(v) > 0,
+                      "isolated vertices cannot be classified");
+    Side side = Side::kOutside;
+    bool first = true;
+    for (DartId d : g.rotation(v)) {
+      const Side fs_side = rc.face_side[static_cast<std::size_t>(fs.face_of(d))];
+      if (first) {
+        side = fs_side;
+        first = false;
+      } else {
+        PLANSEP_CHECK_MSG(side == fs_side,
+                          "vertex touches both sides of the cycle");
+      }
+    }
+    rc.node_side[static_cast<std::size_t>(v)] = side;
+  }
+  return rc;
+}
+
+std::vector<DartId> darts_of_node_cycle(const EmbeddedGraph& g,
+                                        const std::vector<NodeId>& nodes) {
+  PLANSEP_CHECK(nodes.size() >= 3);
+  std::vector<DartId> out;
+  out.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const NodeId a = nodes[i];
+    const NodeId b = nodes[(i + 1) % nodes.size()];
+    const DartId d = g.find_dart(a, b);
+    PLANSEP_CHECK_MSG(d != kNoDart, "cycle edge missing from graph");
+    out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace plansep::planar

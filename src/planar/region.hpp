@@ -1,0 +1,42 @@
+#pragma once
+
+// Jordan-curve region classification on an embedded graph.
+//
+// Given a simple cycle C (as a closed dart walk) in an embedded graph and a
+// designated outer face, every face lies inside or outside C, and every
+// vertex is on C, inside, or outside. This is the combinatorial ground
+// truth used throughout the library for the paper's notions of "nodes
+// inside a fundamental face" (§2, §4): the brute-force oracles classify
+// regions this way and the distributed formulas (Definition 2, Remark 1)
+// are property-tested against them.
+
+#include <vector>
+
+#include "planar/embedded_graph.hpp"
+#include "planar/face_structure.hpp"
+
+namespace plansep::planar {
+
+enum class Side : char { kOnCycle = 0, kInside = 1, kOutside = 2 };
+
+struct RegionClassification {
+  std::vector<Side> node_side;  // indexed by node
+  std::vector<Side> face_side;  // indexed by face; never kOnCycle
+};
+
+/// Classifies all nodes and faces of `g` with respect to the simple cycle
+/// given as a closed dart walk (head(cycle[i]) == tail(cycle[i+1]),
+/// cyclically; all edges distinct). Faces connected to `outer` in the dual
+/// without crossing a cycle edge are outside; the rest are inside. Vertices
+/// not on the cycle must have all incident faces on one side (checked).
+RegionClassification classify_cycle_region(const EmbeddedGraph& g,
+                                           const FaceStructure& fs,
+                                           const std::vector<DartId>& cycle,
+                                           FaceId outer);
+
+/// Builds the closed dart walk for a node cycle v0 v1 ... vk v0 using the
+/// first dart found between consecutive nodes. All edges must exist.
+std::vector<DartId> darts_of_node_cycle(const EmbeddedGraph& g,
+                                        const std::vector<NodeId>& nodes);
+
+}  // namespace plansep::planar

@@ -1,0 +1,347 @@
+#include "separator/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "faces/augmentation.hpp"
+#include "faces/containment.hpp"
+#include "faces/hidden.hpp"
+#include "faces/membership.hpp"
+#include "faces/weights.hpp"
+#include "subroutines/components.hpp"
+#include "util/check.hpp"
+
+namespace plansep::separator {
+
+namespace {
+
+using faces::FaceData;
+using faces::FaceSide;
+using tree::RootedSpanningTree;
+
+struct Candidate {
+  std::vector<NodeId> path;
+  EdgeId closing = planar::kNoEdge;
+  int phase = 0;
+};
+
+/// True iff removing `path` from part p leaves components of size at most
+/// 2n/3 (n = part size). The distributed check is one components pass plus
+/// a size aggregation; values are computed directly.
+bool balanced(const PartSet& ps, int p, const std::vector<NodeId>& path) {
+  const auto& g = *ps.g;
+  const int n = ps.part_size(p);
+  std::vector<char> marked(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (NodeId v : path) marked[static_cast<std::size_t>(v)] = 1;
+  const sub::Components comps = sub::connected_components(
+      g, [&](NodeId v) {
+        return ps.part_of(v) == p && !marked[static_cast<std::size_t>(v)];
+      });
+  for (int size : comps.size) {
+    if (3 * size > 2 * n) return false;
+  }
+  return true;
+}
+
+/// Path length (node count) of the tree path between a and b.
+int path_nodes(const RootedSpanningTree& t, NodeId a, NodeId b) {
+  const NodeId w = t.lca(a, b);
+  return t.depth(a) + t.depth(b) - 2 * t.depth(w) + 1;
+}
+
+Candidate make_path_candidate(const RootedSpanningTree& t, NodeId a, NodeId b,
+                              EdgeId closing, int phase) {
+  Candidate c;
+  c.path = t.path(a, b);
+  c.closing = closing;
+  c.phase = phase;
+  return c;
+}
+
+/// Candidates for one part, in the phase order of §5.3.
+std::vector<Candidate> candidates_for_part(const PartSet& ps, int p) {
+  const RootedSpanningTree& t = ps.tree_of_part(p);
+  const long long n = t.size();
+  std::vector<Candidate> out;
+
+  if (n <= 3) {
+    Candidate c;
+    c.path = {t.root()};
+    c.phase = 2;
+    out.push_back(std::move(c));
+    return out;
+  }
+
+  const std::vector<EdgeId> fund = faces::real_fundamental_edges(t);
+
+  // Phase 2: tree part — root→centroid path.
+  if (fund.empty()) {
+    out.push_back(make_path_candidate(t, t.root(), t.centroid(),
+                                      planar::kNoEdge, 2));
+    return out;
+  }
+
+  std::vector<FundamentalEdge> fes;
+  std::vector<long long> weight;
+  fes.reserve(fund.size());
+  for (EdgeId e : fund) {
+    fes.push_back(faces::analyze_fundamental_edge(t, e));
+    weight.push_back(faces::face_weight(t, fes.back()));
+  }
+
+  // Phase 3: a face with ω ∈ [n/3, 2n/3].
+  for (std::size_t i = 0; i < fes.size(); ++i) {
+    if (3 * weight[i] >= n && 3 * weight[i] <= 2 * n) {
+      out.push_back(
+          make_path_candidate(t, fes[i].u, fes[i].v, fes[i].edge, 3));
+      break;
+    }
+  }
+  // Lemma 1 case 3: a fundamental edge whose tree path has ≥ n/3 nodes is
+  // itself a (cycle) separator.
+  for (std::size_t i = 0; i < fes.size(); ++i) {
+    if (3LL * path_nodes(t, fes[i].u, fes[i].v) >= n) {
+      out.push_back(
+          make_path_candidate(t, fes[i].u, fes[i].v, fes[i].edge, 33));
+      break;
+    }
+  }
+
+  std::vector<FundamentalEdge> heavy;
+  for (std::size_t i = 0; i < fes.size(); ++i) {
+    if (3 * weight[i] > 2 * n) heavy.push_back(fes[i]);
+  }
+
+  if (!heavy.empty()) {
+    // Phase 4: minimal heavy face, full augmentation from u.
+    const FundamentalEdge estar = faces::pick_not_contains(t, heavy);
+    const FaceData fd = faces::face_data(t, estar);
+    std::vector<NodeId> leaves;
+    for (NodeId z : t.nodes()) {
+      if (!t.children(z).empty()) continue;
+      if (faces::classify_node(fd, faces::node_data(t, z)) !=
+          FaceSide::kInside) {
+        continue;
+      }
+      leaves.push_back(z);
+    }
+    // Sub-phase 4.1: leaf with augmented weight in range; prefer the
+    // sweep-highest one (Lemma 7's choice).
+    const bool use_left =
+        !estar.u_ancestor_of_v || faces::uses_left_order(estar);
+    std::sort(leaves.begin(), leaves.end(), [&](NodeId a, NodeId b) {
+      return (use_left ? t.pi_left(a) : t.pi_right(a)) >
+             (use_left ? t.pi_left(b) : t.pi_right(b));
+    });
+    for (NodeId z : leaves) {
+      const long long w = faces::augmented_weight(t, estar, z);
+      if (3 * w < n || 3 * w > 2 * n) continue;
+      const auto hiding = faces::hiding_edges(t, estar, z);
+      if (hiding.empty()) {
+        out.push_back(
+            make_path_candidate(t, estar.u, z, planar::kNoEdge, 41));
+      } else {
+        const FundamentalEdge f = faces::pick_not_contained(t, hiding);
+        const NodeId z2 = t.pi_left(f.u) < t.pi_left(f.v) ? f.v : f.u;
+        const NodeId z1 = z2 == f.u ? f.v : f.u;
+        out.push_back(
+            make_path_candidate(t, estar.u, z2, planar::kNoEdge, 45));
+        out.push_back(
+            make_path_candidate(t, estar.u, z1, planar::kNoEdge, 45));
+      }
+      break;
+    }
+    // Lemma 1 case 3 inside the augmentation: a long u..z path.
+    for (NodeId z : leaves) {
+      if (3LL * path_nodes(t, estar.u, z) >= n) {
+        out.push_back(make_path_candidate(t, estar.u, z, planar::kNoEdge, 43));
+        break;
+      }
+    }
+    // Sub-phase 4.2: the face's own path.
+    out.push_back(
+        make_path_candidate(t, estar.u, estar.v, estar.edge, 42));
+  } else {
+    // Phase 5: every face is light; maximal face e*, outside split.
+    const FundamentalEdge estar = faces::pick_not_contained(t, fes);
+    const FaceData fd = faces::face_data(t, estar);
+    long long f_r = 0, f_l = 0;
+    for (NodeId z : t.nodes()) {
+      if (faces::classify_node(fd, faces::node_data(t, z)) !=
+          FaceSide::kOutside) {
+        continue;
+      }
+      if (t.pi_left(z) > t.pi_left(estar.v)) {
+        ++f_r;
+      } else {
+        ++f_l;
+      }
+    }
+    if (3 * f_l <= n && 3 * f_r <= n) {
+      out.push_back(
+          make_path_candidate(t, estar.u, estar.v, estar.edge, 51));
+    }
+    // Lemma 8's heavy case: run the Phase-4 sweep from the root over the
+    // root sweep faces (the virtual faces F_{r_T u'} with interior F_ℓ or
+    // F_r), in both sweep directions.
+    for (bool left : {true, false}) {
+      NodeId pick = planar::kNoNode;
+      for (NodeId z : t.nodes()) {
+        if (z == t.root() || !t.children(z).empty()) continue;
+        const long long w = faces::root_sweep_weight(t, z, left);
+        if (3 * w < n || 3 * w > 2 * n) continue;
+        if (pick == planar::kNoNode ||
+            (left ? t.pi_left(z) > t.pi_left(pick)
+                  : t.pi_right(z) > t.pi_right(pick))) {
+          pick = z;
+        }
+      }
+      if (pick == planar::kNoNode) continue;
+      // Hidden check for the root sweep: any real fundamental face whose
+      // interior strictly contains `pick` blocks the virtual closing edge.
+      std::vector<FundamentalEdge> hiding;
+      for (const FundamentalEdge& f : fes) {
+        if (faces::is_inside_face(t, f, pick)) hiding.push_back(f);
+      }
+      if (hiding.empty()) {
+        out.push_back(
+            make_path_candidate(t, t.root(), pick, planar::kNoEdge, 52));
+      } else {
+        const FundamentalEdge f = faces::pick_not_contained(t, hiding);
+        out.push_back(
+            make_path_candidate(t, t.root(), f.v, planar::kNoEdge, 53));
+        out.push_back(
+            make_path_candidate(t, t.root(), f.u, planar::kNoEdge, 53));
+      }
+    }
+    // Further fallbacks, balance-verified.
+    out.push_back(make_path_candidate(t, estar.u, estar.v, estar.edge, 54));
+    out.push_back(make_path_candidate(t, t.root(), estar.v, planar::kNoEdge,
+                                      55));
+    out.push_back(make_path_candidate(t, t.root(), estar.u, planar::kNoEdge,
+                                      55));
+    out.push_back(make_path_candidate(t, t.root(), t.centroid(),
+                                      planar::kNoEdge, 55));
+  }
+
+  // Last resort (should be unreachable; counted in stats and asserted
+  // absent by the test suite): scan all fundamental-edge paths and all
+  // root→node paths.
+  {
+    Candidate c;
+    c.phase = 99;
+    out.push_back(std::move(c));  // placeholder; resolved in compute()
+  }
+  return out;
+}
+
+Candidate last_resort(const PartSet& ps, int p) {
+  const RootedSpanningTree& t = ps.tree_of_part(p);
+  for (EdgeId e : faces::real_fundamental_edges(t)) {
+    const FundamentalEdge fe = faces::analyze_fundamental_edge(t, e);
+    Candidate c = make_path_candidate(t, fe.u, fe.v, fe.edge, 99);
+    if (balanced(ps, p, c.path)) return c;
+  }
+  for (NodeId v : t.nodes()) {
+    Candidate c = make_path_candidate(t, t.root(), v, planar::kNoEdge, 99);
+    if (balanced(ps, p, c.path)) return c;
+  }
+  PLANSEP_CHECK_MSG(false, "no balanced separator path exists at all");
+  return {};
+}
+
+}  // namespace
+
+void SeparatorStats::record(int phase) {
+  ++parts;
+  switch (phase) {
+    case 2: ++phase_counts[0]; break;
+    case 3: ++phase_counts[1]; break;
+    case 33:
+    case 43: ++phase_counts[2]; break;
+    case 41: ++phase_counts[3]; break;
+    case 45: ++phase_counts[4]; break;
+    case 42: ++phase_counts[5]; break;
+    case 51:
+    case 52:
+    case 53:
+    case 54:
+    case 55: ++phase_counts[6]; break;
+    // Weighted-extension candidates (weighted centroid / sweeps / heavy
+    // node) share the Phase-5 bucket; 99 alone is the last resort.
+    case 61:
+    case 62:
+    case 63:
+    case 64:
+    case 65: ++phase_counts[6]; break;
+    default: ++phase_counts[7]; break;
+  }
+}
+
+SeparatorResult SeparatorEngine::compute(const PartSet& ps) {
+  SeparatorResult out;
+  out.parts.resize(static_cast<std::size_t>(ps.num_parts));
+  out.marked.assign(static_cast<std::size_t>(ps.g->num_nodes()), 0);
+
+  // --- Cost model (phases shared across parts; see header). One
+  // aggregation over the part partition costs the same for every logical
+  // PA of a phase, so compute it once and scale.
+  std::vector<std::int64_t> zeros(static_cast<std::size_t>(ps.g->num_nodes()),
+                                  0);
+  auto pa_unit = engine_->aggregate(ps.part, zeros, shortcuts::AggOp::kMax);
+  auto charge_pa = [&](long long k) {
+    RoundCost c = pa_unit.cost;
+    c.measured *= k;
+    c.charged *= k;
+    c.pa_calls = k;
+    out.cost += c;
+  };
+  // Weights (Lemma 12): endpoint-local exchanges after the orders exist.
+  out.cost += shortcuts::local_exchange(2);
+  charge_pa(3);   // Phase 2: tree test + range + centroid broadcast
+  charge_pa(5);   // Phase 3: range over ω, endpoint broadcast, mark-path
+  charge_pa(15);  // Phase 4: not-contains, detect-face, augmentation
+                  // broadcast, range, hidden, not-contained, mark-path
+  charge_pa(8);   // Phase 5: not-contained, F_l/F_r sums, mark-path
+  out.cost += shortcuts::local_exchange(4);
+
+  // --- Candidate generation and verification.
+  int verify_rounds_used = 0;
+  for (int p = 0; p < ps.num_parts; ++p) {
+    if (!ps.trees[static_cast<std::size_t>(p)]) continue;
+    std::vector<Candidate> cands = candidates_for_part(ps, p);
+    bool settled = false;
+    int tried = 0;
+    for (Candidate& c : cands) {
+      if (c.phase == 99) c = last_resort(ps, p);
+      ++tried;
+      if (balanced(ps, p, c.path)) {
+        PartSeparator& sep = out.parts[static_cast<std::size_t>(p)];
+        sep.path = c.path;
+        sep.endpoint_a = c.path.front();
+        sep.endpoint_b = c.path.back();
+        sep.closing_edge = c.closing;
+        sep.phase = c.phase;
+        out.stats.record(c.phase);
+        out.stats.candidates_tried += tried;
+        if (tried == 1) ++out.stats.first_candidate_hits;
+        for (NodeId v : c.path) {
+          out.marked[static_cast<std::size_t>(v)] = 1;
+        }
+        settled = true;
+        break;
+      }
+    }
+    PLANSEP_CHECK_MSG(settled, "separator engine failed to settle a part");
+    verify_rounds_used = std::max(verify_rounds_used, tried);
+  }
+  // Each verification round = one components pass (O(log n) aggregations)
+  // plus a size aggregation, shared across parts.
+  const long long log_n =
+      1 + static_cast<long long>(
+              std::ceil(std::log2(std::max(2, ps.g->num_nodes()))));
+  charge_pa(verify_rounds_used * (log_n + 1));
+  return out;
+}
+
+}  // namespace plansep::separator

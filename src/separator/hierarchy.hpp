@@ -1,0 +1,45 @@
+#pragma once
+
+// Recursive separator decomposition — the divide-and-conquer driver that
+// motivated separators in the first place (Lipton–Tarjan [14, 15], cited
+// throughout the paper's introduction).
+//
+// The hierarchy splits the graph level by level: every piece larger than
+// `leaf_size` gets a cycle separator (all pieces of a level in parallel —
+// one Theorem-1 invocation per level, Õ(D) each), its separator nodes are
+// set aside, and the remaining components become the children pieces.
+// Balance guarantees O(log(n / leaf_size)) levels.
+
+#include "separator/engine.hpp"
+
+namespace plansep::separator {
+
+struct HierarchyPiece {
+  int level = 0;                  // root piece = level 0
+  int parent = -1;                // index into pieces; -1 for roots
+  std::vector<NodeId> nodes;      // the piece before splitting
+  std::vector<NodeId> separator;  // empty for leaves
+  std::vector<int> children;      // indices into pieces
+  bool is_leaf() const { return separator.empty(); }
+};
+
+struct SeparatorHierarchy {
+  std::vector<HierarchyPiece> pieces;
+  std::vector<char> in_separator;  // union over all levels, per node
+  int levels = 0;
+  long long separator_nodes = 0;
+  shortcuts::RoundCost cost;
+
+  /// Leaf piece containing v, or -1 if v is a separator node.
+  int leaf_of(NodeId v) const { return leaf_of_[static_cast<std::size_t>(v)]; }
+
+  std::vector<int> leaf_of_;  // filled by build_hierarchy
+};
+
+/// Builds the full hierarchy over the connected graph g. Pieces with at
+/// most `leaf_size` nodes are not split further.
+SeparatorHierarchy build_hierarchy(const planar::EmbeddedGraph& g,
+                                   shortcuts::PartwiseEngine& engine,
+                                   int leaf_size);
+
+}  // namespace plansep::separator

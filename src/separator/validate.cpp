@@ -1,0 +1,45 @@
+#include "separator/validate.hpp"
+
+#include <algorithm>
+
+#include "subroutines/components.hpp"
+#include "util/check.hpp"
+
+namespace plansep::separator {
+
+SeparatorCheck check_separator(const sub::PartSet& ps, int p,
+                               const PartSeparator& sep) {
+  SeparatorCheck out;
+  const auto& t = ps.tree_of_part(p);
+  const auto& g = *ps.g;
+
+  // Structural: the marked set equals the tree path between its endpoints.
+  if (!sep.path.empty()) {
+    std::vector<NodeId> expect = t.path(sep.endpoint_a, sep.endpoint_b);
+    std::vector<NodeId> a = expect;
+    std::vector<NodeId> b = sep.path;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    out.is_tree_path = (a == b);
+    for (NodeId v : sep.path) {
+      if (ps.part_of(v) != p) out.is_tree_path = false;
+    }
+  }
+
+  // Balance.
+  std::vector<char> marked(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (NodeId v : sep.path) marked[static_cast<std::size_t>(v)] = 1;
+  const sub::Components comps = sub::connected_components(
+      g, [&](NodeId v) {
+        return ps.part_of(v) == p && !marked[static_cast<std::size_t>(v)];
+      });
+  out.components = comps.count;
+  int max_size = 0;
+  for (int s : comps.size) max_size = std::max(max_size, s);
+  const int n = ps.part_size(p);
+  out.balance = n > 0 ? static_cast<double>(max_size) / n : 0.0;
+  out.balanced = 3 * max_size <= 2 * n;
+  return out;
+}
+
+}  // namespace plansep::separator

@@ -1,0 +1,21 @@
+#pragma once
+
+// Validation of separator outputs (used by tests and benches).
+
+#include "separator/engine.hpp"
+
+namespace plansep::separator {
+
+struct SeparatorCheck {
+  bool is_tree_path = false;   // marked set is a path of the part's tree
+  bool balanced = false;       // every component of G[P]−S has ≤ 2n/3 nodes
+  double balance = 0;          // max component size / n
+  int components = 0;
+  bool ok() const { return is_tree_path && balanced; }
+};
+
+/// Checks one part's separator against its PartSet.
+SeparatorCheck check_separator(const sub::PartSet& ps, int p,
+                               const PartSeparator& sep);
+
+}  // namespace plansep::separator

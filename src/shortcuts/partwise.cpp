@@ -1,0 +1,251 @@
+#include "shortcuts/partwise.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace plansep::shortcuts {
+
+namespace {
+
+constexpr std::int64_t kIdentityMin = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kIdentityMax = std::numeric_limits<std::int64_t>::min();
+
+std::int64_t combine(AggOp op, std::int64_t a, std::int64_t b) {
+  switch (op) {
+    case AggOp::kMin: return std::min(a, b);
+    case AggOp::kMax: return std::max(a, b);
+    case AggOp::kSum: return a + b;
+  }
+  return 0;
+}
+
+std::int64_t identity(AggOp op) {
+  switch (op) {
+    case AggOp::kMin: return kIdentityMin;
+    case AggOp::kMax: return kIdentityMax;
+    case AggOp::kSum: return 0;
+  }
+  return 0;
+}
+
+// Budget on the total number of (node, part) stream entries the global
+// simulation materializes; beyond it the intra-part strategy dominates
+// anyway and the simulation is skipped.
+constexpr long long kGlobalSimBudget = 20'000'000;
+
+}  // namespace
+
+PartwiseEngine::PartwiseEngine(const EmbeddedGraph& g, NodeId root) : g_(&g) {
+  bfs_ = congest::distributed_bfs(g, root);
+  for (int d : bfs_.depth) {
+    PLANSEP_CHECK_MSG(d >= 0, "graph must be connected");
+  }
+  setup_cost_.measured = bfs_.rounds;
+  setup_cost_.charged = std::max(1, bfs_.height);
+  bfs_children_.assign(static_cast<std::size_t>(g.num_nodes()), {});
+  bfs_order_.reserve(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) bfs_order_.push_back(v);
+  std::sort(bfs_order_.begin(), bfs_order_.end(), [&](NodeId a, NodeId b) {
+    return bfs_.depth[static_cast<std::size_t>(a)] <
+           bfs_.depth[static_cast<std::size_t>(b)];
+  });
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const planar::DartId pd = bfs_.parent_dart[static_cast<std::size_t>(v)];
+    if (pd != planar::kNoDart) {
+      bfs_children_[static_cast<std::size_t>(g.head(pd))].push_back(v);
+    }
+  }
+}
+
+RoundCost PartwiseEngine::blackbox_charge() const {
+  RoundCost c;
+  c.measured = 2 * std::max(1, bfs_.height);
+  c.charged = std::max(1, bfs_.height);
+  c.pa_calls = 1;
+  return c;
+}
+
+long long PartwiseEngine::intra_part_rounds(const std::vector<int>& part) const {
+  // Per-part BFS height over the induced subgraph; parts are disjoint so
+  // they proceed fully in parallel. Aggregation = convergecast + broadcast.
+  const EmbeddedGraph& g = *g_;
+  const NodeId n = g.num_nodes();
+  std::vector<int> level(static_cast<std::size_t>(n), -1);
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  long long max_height = 0;
+  std::deque<NodeId> queue;
+  for (NodeId s = 0; s < n; ++s) {
+    if (part[static_cast<std::size_t>(s)] < 0 || seen[static_cast<std::size_t>(s)]) {
+      continue;
+    }
+    const int p = part[static_cast<std::size_t>(s)];
+    seen[static_cast<std::size_t>(s)] = 1;
+    level[static_cast<std::size_t>(s)] = 0;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      max_height = std::max<long long>(max_height,
+                                       level[static_cast<std::size_t>(v)]);
+      for (planar::DartId d : g.rotation(v)) {
+        const NodeId w = g.head(d);
+        if (part[static_cast<std::size_t>(w)] != p ||
+            seen[static_cast<std::size_t>(w)]) {
+          continue;
+        }
+        seen[static_cast<std::size_t>(w)] = 1;
+        level[static_cast<std::size_t>(w)] = level[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return 2 * max_height + 2;
+}
+
+long long PartwiseEngine::global_tree_rounds(const std::vector<int>& part) const {
+  // Analytic schedule of the pipelined combining convergecast + downcast
+  // over the global BFS tree (see header). Streams are per-part sorted;
+  // a node forwards one part per round once every child's stream has
+  // advanced past it.
+  const EmbeddedGraph& g = *g_;
+  const NodeId n = g.num_nodes();
+
+  struct Entry {
+    int part;
+    long long emit = 0;  // up-phase emission round
+  };
+  // parts_of[v]: sorted distinct parts in v's BFS subtree, with emit times.
+  std::vector<std::vector<Entry>> parts_of(static_cast<std::size_t>(n));
+  std::vector<long long> done_time(static_cast<std::size_t>(n), 0);
+  long long budget = kGlobalSimBudget;
+
+  for (auto it = bfs_order_.rbegin(); it != bfs_order_.rend(); ++it) {
+    const NodeId v = *it;
+    const auto& children = bfs_children_[static_cast<std::size_t>(v)];
+    // k-way merge of children's part lists plus v's own part.
+    std::vector<std::size_t> ptr(children.size(), 0);
+    auto& mine = parts_of[static_cast<std::size_t>(v)];
+    const int own = part[static_cast<std::size_t>(v)];
+    bool own_used = false;
+    long long prev_emit = 0;
+    for (;;) {
+      int next = std::numeric_limits<int>::max();
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        const auto& cl = parts_of[static_cast<std::size_t>(children[i])];
+        if (ptr[i] < cl.size()) next = std::min(next, cl[ptr[i]].part);
+      }
+      if (!own_used && own >= 0) next = std::min(next, own);
+      if (next == std::numeric_limits<int>::max()) break;
+      // Readiness: every child must have advanced past `next`.
+      long long ready = 0;
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        const auto& cl = parts_of[static_cast<std::size_t>(children[i])];
+        // Child certifies "no more parts <= next" when it emits its first
+        // part > next, or when its stream is done.
+        std::size_t j = ptr[i];
+        long long cert;
+        if (j < cl.size() && cl[j].part == next) {
+          cert = cl[j].emit;
+          // Advance certainty to the next emission (or done marker): the
+          // parent knows child finished `next` when it was emitted.
+          ptr[i] = j + 1;
+        } else {
+          // Child has no `next`; certainty comes from its next emission or
+          // its done marker.
+          cert = (j < cl.size())
+                     ? cl[j].emit
+                     : done_time[static_cast<std::size_t>(children[i])];
+        }
+        ready = std::max(ready, cert + 1);
+      }
+      if (own >= 0 && next == own) own_used = true;
+      const long long emit = std::max(prev_emit + 1, ready);
+      mine.push_back(Entry{next, emit});
+      prev_emit = emit;
+      budget -= 1;
+      if (budget <= 0) return std::numeric_limits<long long>::max() / 4;
+    }
+    done_time[static_cast<std::size_t>(v)] = prev_emit + 1;  // done marker
+  }
+
+  const NodeId root = bfs_.root;
+  long long up_rounds = done_time[static_cast<std::size_t>(root)];
+
+  // Down phase: results stream from the root; each child receives the
+  // parts of its subtree in order, one per round, after the parent has
+  // them. Children of one node proceed in parallel (distinct edges).
+  std::vector<std::vector<long long>> recv(static_cast<std::size_t>(n));
+  long long finish = up_rounds;
+  for (NodeId v : bfs_order_) {
+    const auto& mine = parts_of[static_cast<std::size_t>(v)];
+    auto& rv = recv[static_cast<std::size_t>(v)];
+    if (v == root) {
+      rv.assign(mine.size(), 0);
+      continue;
+    }
+    const planar::DartId pd = bfs_.parent_dart[static_cast<std::size_t>(v)];
+    const NodeId parent = g.head(pd);
+    const auto& plist = parts_of[static_cast<std::size_t>(parent)];
+    const auto& precv = recv[static_cast<std::size_t>(parent)];
+    rv.resize(mine.size());
+    std::size_t j = 0;
+    long long prev = 0;
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      while (plist[j].part != mine[i].part) ++j;  // parent has a superset
+      prev = std::max(prev + 1, precv[j] + 1);
+      rv[i] = prev;
+      finish = std::max(finish, up_rounds + prev);
+    }
+  }
+  return finish;
+}
+
+AggregateResult PartwiseEngine::aggregate(const std::vector<int>& part,
+                                          const std::vector<std::int64_t>& value,
+                                          AggOp op) {
+  const NodeId n = g_->num_nodes();
+  PLANSEP_CHECK(static_cast<NodeId>(part.size()) == n);
+  PLANSEP_CHECK(static_cast<NodeId>(value.size()) == n);
+
+  // Values: per-part reduction, then fan back out.
+  int max_part = -1;
+  for (int p : part) max_part = std::max(max_part, p);
+  std::vector<std::int64_t> acc(static_cast<std::size_t>(max_part + 1),
+                                identity(op));
+  for (NodeId v = 0; v < n; ++v) {
+    const int p = part[static_cast<std::size_t>(v)];
+    if (p < 0) continue;
+    acc[static_cast<std::size_t>(p)] =
+        combine(op, acc[static_cast<std::size_t>(p)], value[static_cast<std::size_t>(v)]);
+  }
+  AggregateResult out;
+  out.value.assign(static_cast<std::size_t>(n), 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const int p = part[static_cast<std::size_t>(v)];
+    if (p >= 0) {
+      out.value[static_cast<std::size_t>(v)] = acc[static_cast<std::size_t>(p)];
+    }
+  }
+
+  const long long intra = intra_part_rounds(part);
+  const long long global = global_tree_rounds(part);
+  out.cost.measured = std::min(intra, global);
+  out.cost.charged = std::max(1, bfs_.height);
+  out.cost.pa_calls = 1;
+  return out;
+}
+
+AggregateResult PartwiseEngine::broadcast(const std::vector<int>& part,
+                                          const std::vector<std::int64_t>& source_value,
+                                          const std::vector<char>& is_source) {
+  std::vector<std::int64_t> value(source_value.size(), kIdentityMax);
+  for (std::size_t i = 0; i < source_value.size(); ++i) {
+    if (is_source[i]) value[i] = source_value[i];
+  }
+  return aggregate(part, value, AggOp::kMax);
+}
+
+}  // namespace plansep::shortcuts

@@ -1,0 +1,220 @@
+#include "shortcuts/partwise_message.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace plansep::shortcuts {
+
+namespace {
+
+using congest::Ctx;
+using congest::EmbeddedGraph;
+using congest::Incoming;
+using congest::Message;
+using congest::NodeId;
+
+constexpr std::uint8_t kUp = 1;    // a = part, b = aggregate
+constexpr std::uint8_t kDone = 2;  // stream closed
+constexpr std::uint8_t kDown = 3;  // a = part, b = result
+constexpr int kInfPart = std::numeric_limits<int>::max();
+
+std::int64_t combine(AggOp op, std::int64_t a, std::int64_t b) {
+  switch (op) {
+    case AggOp::kMin: return std::min(a, b);
+    case AggOp::kMax: return std::max(a, b);
+    case AggOp::kSum: return a + b;
+  }
+  return 0;
+}
+
+class PartwiseProgram : public congest::NodeProgram {
+ public:
+  PartwiseProgram(const congest::BfsResult& bfs, const std::vector<int>& part,
+                  const std::vector<std::int64_t>& value, AggOp op,
+                  MessageAggregateResult* out)
+      : bfs_(&bfs), part_(&part), value_(&value), op_(op), out_(&out->value) {}
+
+  std::vector<NodeId> initial_nodes(const EmbeddedGraph& g) override {
+    g_ = &g;
+    const std::size_t n = static_cast<std::size_t>(g.num_nodes());
+    state_.assign(n, {});
+    out_->assign(n, 0);
+    std::vector<NodeId> all(n);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      all[static_cast<std::size_t>(v)] = v;
+      auto& s = state_[static_cast<std::size_t>(v)];
+      const planar::DartId pd = bfs_->parent_dart[static_cast<std::size_t>(v)];
+      s.parent = pd == planar::kNoDart ? planar::kNoNode : g.head(pd);
+      if ((*part_)[static_cast<std::size_t>(v)] >= 0) {
+        s.buffer[(*part_)[static_cast<std::size_t>(v)]] =
+            (*value_)[static_cast<std::size_t>(v)];
+      }
+    }
+    // Children and watermarks.
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const NodeId p = state_[static_cast<std::size_t>(v)].parent;
+      if (p != planar::kNoNode) {
+        state_[static_cast<std::size_t>(p)].child_index[v] =
+            static_cast<int>(state_[static_cast<std::size_t>(p)].children.size());
+        state_[static_cast<std::size_t>(p)].children.push_back(v);
+      }
+    }
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      auto& s = state_[static_cast<std::size_t>(v)];
+      s.watermark.assign(s.children.size(), -1);
+      s.child_parts.assign(s.children.size(), {});
+    }
+    return all;
+  }
+
+  void round(NodeId v, const std::vector<Incoming>& inbox, Ctx& ctx) override {
+    auto& s = state_[static_cast<std::size_t>(v)];
+    bool progress = false;
+    for (const Incoming& in : inbox) {
+      if (in.msg.tag == kUp) {
+        const int ci = s.child_index.at(in.from);
+        const int p = static_cast<int>(in.msg.a);
+        s.watermark[static_cast<std::size_t>(ci)] = p;
+        s.child_parts[static_cast<std::size_t>(ci)].push_back(p);
+        auto it = s.buffer.find(p);
+        if (it == s.buffer.end()) {
+          s.buffer[p] = in.msg.b;
+        } else {
+          it->second = combine(op_, it->second, in.msg.b);
+        }
+        progress = true;
+      } else if (in.msg.tag == kDone) {
+        const int ci = s.child_index.at(in.from);
+        s.watermark[static_cast<std::size_t>(ci)] = kInfPart;
+        progress = true;
+      } else if (in.msg.tag == kDown) {
+        handle_down(v, static_cast<int>(in.msg.a), in.msg.b);
+        progress = true;
+      }
+    }
+    (void)progress;
+    pump(v, ctx);
+  }
+
+ private:
+  struct NodeState {
+    NodeId parent = planar::kNoNode;
+    std::vector<NodeId> children;
+    std::map<NodeId, int> child_index;
+    std::vector<int> watermark;               // per child; kInfPart = done
+    std::vector<std::vector<int>> child_parts;  // parts each child reported
+    std::map<int, std::int64_t> buffer;       // unsent merged aggregates
+    int emitted_up_to = -1;
+    bool done_sent = false;
+    bool down_started = false;
+    // Down phase: results received (root: computed), and per-child queue
+    // positions into child_parts.
+    std::map<int, std::int64_t> results;
+    std::vector<std::size_t> down_ptr;
+    std::vector<char> down_blocked;  // result not yet known
+  };
+
+  void handle_down(NodeId v, int part, std::int64_t result) {
+    auto& s = state_[static_cast<std::size_t>(v)];
+    s.results[part] = result;
+    if ((*part_)[static_cast<std::size_t>(v)] == part) {
+      (*out_)[static_cast<std::size_t>(v)] = result;
+    }
+  }
+
+  void pump(NodeId v, Ctx& ctx) {
+    auto& s = state_[static_cast<std::size_t>(v)];
+    // --- Up phase: forward the smallest certified, unemitted part.
+    if (!s.done_sent) {
+      int certified = kInfPart;
+      for (int w : s.watermark) certified = std::min(certified, w);
+      // The smallest buffered part > emitted_up_to.
+      auto it = s.buffer.upper_bound(s.emitted_up_to);
+      if (it != s.buffer.end() && it->first <= certified) {
+        const int p = it->first;
+        const std::int64_t agg = it->second;
+        s.emitted_up_to = p;
+        s.buffer.erase(it);
+        if (s.parent != planar::kNoNode) {
+          Message m;
+          m.tag = kUp;
+          m.a = p;
+          m.b = agg;
+          ctx.send(s.parent, m);
+        } else {
+          s.results[p] = agg;  // root: final result
+          if ((*part_)[static_cast<std::size_t>(v)] == p) {
+            (*out_)[static_cast<std::size_t>(v)] = agg;
+          }
+        }
+        ctx.wake_next_round();
+        return;
+      }
+      // Stream exhausted once every child is done and the buffer is empty.
+      const bool all_children_done =
+          std::all_of(s.watermark.begin(), s.watermark.end(),
+                      [](int w) { return w == kInfPart; });
+      if (all_children_done && s.buffer.empty()) {
+        s.done_sent = true;
+        if (s.parent != planar::kNoNode) {
+          Message m;
+          m.tag = kDone;
+          ctx.send(s.parent, m);
+        }
+        ctx.wake_next_round();  // fall through to the down phase next round
+      }
+      return;
+    }
+    // --- Down phase: forward known results to children that want them.
+    if (!s.down_started) {
+      s.down_started = true;
+      s.down_ptr.assign(s.children.size(), 0);
+    }
+    bool pending = false;
+    for (std::size_t c = 0; c < s.children.size(); ++c) {
+      const auto& wants = s.child_parts[c];
+      if (s.down_ptr[c] >= wants.size()) continue;
+      const int p = wants[s.down_ptr[c]];
+      const auto rit = s.results.find(p);
+      if (rit == s.results.end()) {
+        pending = true;  // result not here yet; retry when it arrives
+        continue;
+      }
+      Message m;
+      m.tag = kDown;
+      m.a = p;
+      m.b = rit->second;
+      ctx.send(s.children[c], m);
+      ++s.down_ptr[c];
+      if (s.down_ptr[c] < wants.size()) pending = true;
+    }
+    if (pending) ctx.wake_next_round();
+  }
+
+  const congest::BfsResult* bfs_;
+  const std::vector<int>* part_;
+  const std::vector<std::int64_t>* value_;
+  AggOp op_;
+  std::vector<std::int64_t>* out_;
+  const EmbeddedGraph* g_ = nullptr;
+  std::vector<NodeState> state_;
+};
+
+}  // namespace
+
+MessageAggregateResult message_level_aggregate(
+    const EmbeddedGraph& g, const congest::BfsResult& bfs,
+    const std::vector<int>& part, const std::vector<std::int64_t>& value,
+    AggOp op) {
+  MessageAggregateResult out;
+  PartwiseProgram prog(bfs, part, value, op, &out);
+  congest::Network net(g);
+  out.rounds = net.run(prog);
+  out.messages = net.messages_sent();
+  return out;
+}
+
+}  // namespace plansep::shortcuts

@@ -1,0 +1,36 @@
+#pragma once
+
+// Message-level part-wise aggregation — the global-tree pipelining
+// strategy of PartwiseEngine executed as an actual CONGEST protocol on the
+// Network simulator (one message per edge per round, enforced).
+//
+// Protocol. Up phase: every node streams its subtree's per-part aggregates
+// to its BFS parent in increasing part order with combining; a part may be
+// forwarded once every child's stream has certified it will send nothing
+// smaller (watermarks), and a DONE marker closes each stream. Down phase:
+// the root streams each part's result back down, each node forwarding a
+// part only to the children whose subtrees reported it.
+//
+// This module exists to validate PartwiseEngine's analytic round schedule:
+// tests assert that the values agree exactly and the simulated round count
+// brackets the analytic one (the analytic model is the same schedule
+// without per-message bookkeeping).
+
+#include "congest/network.hpp"
+#include "shortcuts/partwise.hpp"
+
+namespace plansep::shortcuts {
+
+struct MessageAggregateResult {
+  std::vector<std::int64_t> value;  // per node: aggregate of its part
+  int rounds = 0;
+  long long messages = 0;
+};
+
+/// Runs the protocol over the BFS tree in `bfs` (which must span g).
+MessageAggregateResult message_level_aggregate(
+    const congest::EmbeddedGraph& g, const congest::BfsResult& bfs,
+    const std::vector<int>& part, const std::vector<std::int64_t>& value,
+    AggOp op);
+
+}  // namespace plansep::shortcuts

@@ -1,0 +1,32 @@
+#include "subroutines/components.hpp"
+
+#include <deque>
+
+namespace plansep::sub {
+
+Components connected_components(const planar::EmbeddedGraph& g,
+                                const std::function<bool(planar::NodeId)>& in) {
+  Components out;
+  out.label.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+  for (planar::NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (!in(s) || out.label[static_cast<std::size_t>(s)] >= 0) continue;
+    const int id = out.count++;
+    out.size.push_back(0);
+    std::deque<planar::NodeId> queue{s};
+    out.label[static_cast<std::size_t>(s)] = id;
+    while (!queue.empty()) {
+      const planar::NodeId v = queue.front();
+      queue.pop_front();
+      ++out.size[static_cast<std::size_t>(id)];
+      for (planar::DartId d : g.rotation(v)) {
+        const planar::NodeId w = g.head(d);
+        if (!in(w) || out.label[static_cast<std::size_t>(w)] >= 0) continue;
+        out.label[static_cast<std::size_t>(w)] = id;
+        queue.push_back(w);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace plansep::sub

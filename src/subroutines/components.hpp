@@ -1,0 +1,24 @@
+#pragma once
+
+// Connected-component labelling over an induced node subset. Centralized
+// value computation; distributively this is one Borůvka run (Lemma 9 with
+// unit weights, fragments merged until no outgoing edges remain), costing
+// O(log n) part-wise aggregations.
+
+#include <functional>
+#include <vector>
+
+#include "planar/embedded_graph.hpp"
+
+namespace plansep::sub {
+
+struct Components {
+  std::vector<int> label;  // component id per node; -1 = excluded
+  int count = 0;
+  std::vector<int> size;   // per component
+};
+
+Components connected_components(const planar::EmbeddedGraph& g,
+                                const std::function<bool(planar::NodeId)>& in);
+
+}  // namespace plansep::sub

@@ -1,0 +1,100 @@
+#pragma once
+
+// The paper's named distributed problems (§5.2, §6.1) as standalone,
+// costed operations over a PartSet. Each runs in parallel over every part
+// and returns both the values and the round cost:
+//
+//   MIN/MAX-PROBLEM, SUM-SUBSET-PROBLEM, SUM-TREE-PROBLEM,
+//   RANGE-PROBLEM, ANCESTOR/DESCENDANT-PROBLEM        (Lemma 10)
+//   MARK-PATH-PROBLEM                                 (Lemma 13)
+//   LCA-PROBLEM                                       (Lemma 14)
+//   DETECT-FACE-PROBLEM                               (Lemma 15)
+//   HIDDEN-PROBLEM                                    (Lemma 16)
+//   RE-ROOT-PROBLEM                                   (Lemma 19)
+//
+// Implementation note: once the representation (depths, subtree sizes,
+// π_ℓ/π_r with subtree intervals) is established — which PartSet charges
+// for — most problems reduce to O(1) part-wise aggregations plus local
+// rules. MARK-PATH in particular becomes the interval rule
+//   v ∈ path(u,w)  ⟺  (v ancestor-of u) XOR (v ancestor-of w), or v = LCA,
+// decided locally after broadcasting π_ℓ(u), π_ℓ(w) — the same Õ(D)
+// bound as the paper's fragment-merging proof with none of its machinery
+// (the orders are already there; documented deviation).
+
+#include "faces/membership.hpp"
+#include "subroutines/part_context.hpp"
+
+namespace plansep::sub {
+
+using faces::FundamentalEdge;
+
+/// Result of a per-part query: one value per part plus the cost.
+template <typename T>
+struct PerPart {
+  std::vector<T> value;  // indexed by part id
+  RoundCost cost;
+};
+
+/// Result of a per-node predicate plus the cost.
+struct PerNode {
+  std::vector<char> flag;  // indexed by node id
+  RoundCost cost;
+};
+
+/// MIN/MAX-PROBLEM (Lemma 10.1): every node of a part learns the id of a
+/// node minimizing/maximizing its input. Returns that node per part
+/// (kNoNode for empty/absent input, encoded as x_v = nullopt via mask).
+PerPart<NodeId> min_problem(const PartSet& ps, PartwiseEngine& engine,
+                            const std::vector<std::int64_t>& x,
+                            const std::vector<char>& participates);
+PerPart<NodeId> max_problem(const PartSet& ps, PartwiseEngine& engine,
+                            const std::vector<std::int64_t>& x,
+                            const std::vector<char>& participates);
+
+/// SUM-SUBSET-PROBLEM (Lemma 10.2): |P_i| per part.
+PerPart<std::int64_t> sum_subset_problem(const PartSet& ps,
+                                         PartwiseEngine& engine);
+
+/// RANGE-PROBLEM (Lemma 10.4): the id of some node whose input lies in
+/// [lo, hi] (kNoNode if none).
+PerPart<NodeId> range_problem(const PartSet& ps, PartwiseEngine& engine,
+                              const std::vector<std::int64_t>& x,
+                              std::int64_t lo, std::int64_t hi);
+
+/// ANCESTOR-PROBLEM / DESCENDANT-PROBLEM (Lemma 10.5): every node learns
+/// whether it is an ancestor (resp. descendant) of its part's target node.
+PerNode ancestor_problem(const PartSet& ps, PartwiseEngine& engine,
+                         const std::vector<NodeId>& target_of_part);
+PerNode descendant_problem(const PartSet& ps, PartwiseEngine& engine,
+                           const std::vector<NodeId>& target_of_part);
+
+/// MARK-PATH-PROBLEM (Lemma 13): every node learns whether it lies on the
+/// tree path between its part's two endpoints.
+PerNode mark_path_problem(const PartSet& ps, PartwiseEngine& engine,
+                          const std::vector<NodeId>& u_of_part,
+                          const std::vector<NodeId>& w_of_part);
+
+/// LCA-PROBLEM (Lemma 14): the LCA of the part's two endpoints.
+PerPart<NodeId> lca_problem(const PartSet& ps, PartwiseEngine& engine,
+                            const std::vector<NodeId>& u_of_part,
+                            const std::vector<NodeId>& w_of_part);
+
+/// DETECT-FACE-PROBLEM (Lemma 15): every node of part p learns its side of
+/// the fundamental face of `edge_of_part[p]` (border counts as in-face).
+PerNode detect_face_problem(const PartSet& ps, PartwiseEngine& engine,
+                            const std::vector<FundamentalEdge>& edge_of_part);
+
+/// HIDDEN-PROBLEM (Lemma 16): whether any real fundamental edge of part p
+/// hides node z_of_part[p] inside the face of edge_of_part[p].
+PerPart<bool> hidden_problem(const PartSet& ps, PartwiseEngine& engine,
+                             const std::vector<FundamentalEdge>& edge_of_part,
+                             const std::vector<NodeId>& z_of_part);
+
+/// RE-ROOT-PROBLEM (Lemma 19): a new PartSet whose trees have the same
+/// edges but are rooted at new_root_of_part (kNoNode = keep). The cost of
+/// the re-rooting itself (depth/parent updates) is one black-box charge;
+/// re-establishing orders is charged by the returned PartSet.
+PartSet re_root_problem(const PartSet& ps, PartwiseEngine& engine,
+                        const std::vector<NodeId>& new_root_of_part);
+
+}  // namespace plansep::sub

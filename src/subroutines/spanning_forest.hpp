@@ -1,0 +1,44 @@
+#pragma once
+
+// Per-part spanning trees via Borůvka (Lemma 9) with 0/1 edge weights.
+//
+// The paper computes a spanning tree of every part in parallel by
+// simulating Borůvka's algorithm through part-wise aggregation: each
+// fragment selects its minimum outgoing edge (MOE) per phase, fragments
+// merge, and after O(log n) phases each part is spanned. With 0/1 weights
+// (JOIN-PROBLEM, §6.1.2) the MST keeps weight-0 edges (separator-separator
+// edges) contiguous in the tree. Ties are broken by edge id, making the
+// result deterministic.
+
+#include <functional>
+#include <memory>
+
+#include "shortcuts/partwise.hpp"
+#include "tree/rooted_tree.hpp"
+
+namespace plansep::sub {
+
+using planar::EdgeId;
+using planar::EmbeddedGraph;
+using planar::NodeId;
+using shortcuts::PartwiseEngine;
+using shortcuts::RoundCost;
+
+struct SpanningForest {
+  /// parent_dart[v]: dart v→parent in its part's tree (kNoDart for roots
+  /// and for nodes with part -1).
+  std::vector<planar::DartId> parent_dart;
+  /// root of each part (node with minimum id).
+  std::vector<NodeId> root;  // indexed by part id
+  RoundCost cost;
+};
+
+/// Computes a minimum spanning tree of each part w.r.t. (weight(e), e)
+/// lexicographic order, where weight(e) in {0, 1}. Parts must induce
+/// connected subgraphs. Cost: O(log n) Borůvka phases, each one part-wise
+/// aggregation over the current fragments plus O(1) local rounds.
+SpanningForest boruvka_forest(
+    const EmbeddedGraph& g, const std::vector<int>& part, int num_parts,
+    const std::function<int(EdgeId)>& weight, PartwiseEngine& engine);
+
+}  // namespace plansep::sub

@@ -1,0 +1,40 @@
+#pragma once
+
+// Import/export: edge lists, Graphviz DOT, and JSON summaries — the glue
+// for using plansep on external data and inspecting results visually.
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dfs/partial_tree.hpp"
+#include "planar/embedded_graph.hpp"
+
+namespace plansep::io {
+
+/// Parses whitespace-separated "u v" pairs, one edge per line; lines
+/// starting with '#' are comments. Node ids are arbitrary non-negative
+/// integers and are compacted; returns (n, edges). Throws CheckError on
+/// malformed input.
+struct EdgeListInput {
+  planar::NodeId num_nodes = 0;
+  std::vector<std::pair<planar::NodeId, planar::NodeId>> edges;
+  /// Compacted id -> original id.
+  std::vector<long long> original_id;
+};
+EdgeListInput read_edge_list(std::istream& in);
+
+/// Graphviz DOT of the graph; nodes in `highlight` are filled. When a tree
+/// is given, tree edges are drawn bold.
+std::string to_dot(const planar::EmbeddedGraph& g,
+                   const std::vector<char>& highlight = {},
+                   const dfs::PartialDfsTree* tree = nullptr);
+
+/// Compact JSON summary of a DFS tree: root, parent and depth arrays.
+std::string dfs_to_json(const dfs::PartialDfsTree& tree);
+
+/// Compact JSON for a node set (e.g. a separator path).
+std::string nodes_to_json(const std::vector<planar::NodeId>& nodes);
+
+}  // namespace plansep::io

@@ -1,0 +1,47 @@
+#pragma once
+
+// Deterministic pseudo-random generator used across generators, property
+// tests and the randomized baseline. A thin wrapper over SplitMix64/
+// xoshiro256** so that results are reproducible across platforms and
+// standard-library implementations (std::mt19937 would also work, but its
+// distributions are not portable).
+
+#include <cstdint>
+#include <vector>
+
+namespace plansep {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with success probability p.
+  bool next_bool(double p = 0.5);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace plansep

@@ -1,0 +1,33 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace plansep {
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  s.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+  auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1 - frac) + values[hi] * frac;
+  };
+  s.median = quantile(0.5);
+  s.p90 = quantile(0.9);
+  double acc = 0;
+  for (double v : values) acc += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(acc / static_cast<double>(values.size()));
+  return s;
+}
+
+}  // namespace plansep

@@ -1,0 +1,23 @@
+#pragma once
+
+// Small descriptive-statistics helpers used by the benchmark harness.
+
+#include <cstddef>
+#include <vector>
+
+namespace plansep {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double median = 0;
+  double p90 = 0;
+  double stddev = 0;
+};
+
+/// Computes descriptive statistics of `values` (empty input gives all-zero).
+Summary summarize(std::vector<double> values);
+
+}  // namespace plansep

@@ -1,0 +1,44 @@
+#pragma once
+
+// Plain-text table printer used by the benchmark binaries to emit the
+// experiment tables described in EXPERIMENTS.md. Columns are right-aligned
+// and sized to their widest cell so tables remain readable in logs.
+
+#include <string>
+#include <vector>
+
+namespace plansep {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each cell with to_string-like semantics.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    add_row({format_cell(cells)...});
+  }
+
+  /// Renders the table (with a separator under the header).
+  std::string to_string() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+ private:
+  static std::string format_cell(const std::string& s) { return s; }
+  static std::string format_cell(const char* s) { return s; }
+  static std::string format_cell(bool b) { return b ? "yes" : "no"; }
+  static std::string format_cell(double v);
+  template <typename T>
+  static std::string format_cell(const T& v) {
+    return std::to_string(v);
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace plansep

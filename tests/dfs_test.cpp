@@ -1,0 +1,134 @@
+// End-to-end tests for Theorem 2: the deterministic DFS construction must
+// produce a valid DFS tree (every graph edge joins an ancestor/descendant
+// pair) on every instance, in O(log n) outer phases.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "dfs/builder.hpp"
+#include "dfs/validate.hpp"
+#include "planar/generators.hpp"
+#include "shortcuts/partwise.hpp"
+#include "util/rng.hpp"
+
+namespace plansep::dfs {
+namespace {
+
+using planar::Family;
+using planar::GeneratedGraph;
+
+struct Case {
+  Family family;
+  int n;
+  std::uint64_t seeds;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string s = std::string(planar::family_name(info.param.family)) + "_" +
+                  std::to_string(info.param.n);
+  for (char& c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return s;
+}
+
+class DfsProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DfsProperty, ValidDfsTree) {
+  const Case& c = GetParam();
+  for (std::uint64_t seed = 1; seed <= c.seeds; ++seed) {
+    const GeneratedGraph gg = planar::make_instance(c.family, c.n, seed);
+    Rng rng(seed * 31 + 5);
+    const planar::NodeId root =
+        static_cast<planar::NodeId>(rng.next_below(gg.graph.num_nodes()));
+    shortcuts::PartwiseEngine engine(gg.graph, root);
+    const DfsBuildResult res = build_dfs_tree(gg.graph, root, engine);
+    const DfsCheck chk = check_dfs_tree(gg.graph, res.tree);
+    EXPECT_TRUE(chk.spanning)
+        << planar::family_name(c.family) << " seed=" << seed;
+    EXPECT_TRUE(chk.depths_consistent)
+        << planar::family_name(c.family) << " seed=" << seed;
+    EXPECT_TRUE(chk.dfs_property)
+        << planar::family_name(c.family) << " seed=" << seed << " violations="
+        << chk.violating_edges;
+    EXPECT_EQ(res.tree.root(), root);
+    // O(log n) outer phases (generous constant).
+    const double log_n = std::log2(std::max(2, gg.graph.num_nodes()));
+    EXPECT_LE(res.phases, 6 * log_n + 4)
+        << planar::family_name(c.family) << " seed=" << seed;
+    // No last-resort separator fallback anywhere in the recursion.
+    EXPECT_EQ(res.separator_stats.phase_counts[7], 0);
+    EXPECT_GT(res.cost.measured, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DfsProperty,
+    ::testing::Values(Case{Family::kGrid, 49, 4},
+                      Case{Family::kGrid, 121, 2},
+                      Case{Family::kGridDiagonals, 64, 4},
+                      Case{Family::kCylinder, 60, 3},
+                      Case{Family::kTriangulation, 60, 6},
+                      Case{Family::kTriangulation, 150, 3},
+                      Case{Family::kRandomPlanar, 80, 5},
+                      Case{Family::kOuterplanar, 60, 4},
+                      Case{Family::kCycle, 24, 2},
+                      Case{Family::kRandomTree, 40, 3},
+                      Case{Family::kStar, 20, 2},
+                      Case{Family::kWheel, 22, 3}),
+    case_name);
+
+TEST(Dfs, PathGraphIsItsOwnDfsTree) {
+  const GeneratedGraph gg = planar::path(10);
+  shortcuts::PartwiseEngine engine(gg.graph, 0);
+  const DfsBuildResult res = build_dfs_tree(gg.graph, 0, engine);
+  EXPECT_TRUE(check_dfs_tree(gg.graph, res.tree).ok());
+  for (planar::NodeId v = 1; v < 10; ++v) {
+    EXPECT_EQ(res.tree.parent(v), v - 1);
+    EXPECT_EQ(res.tree.depth(v), v);
+  }
+}
+
+TEST(Dfs, CycleDfsIsHamiltonianPath) {
+  // On a cycle, any DFS tree from r is the whole cycle minus one edge.
+  const GeneratedGraph gg = planar::cycle(12);
+  shortcuts::PartwiseEngine engine(gg.graph, 3);
+  const DfsBuildResult res = build_dfs_tree(gg.graph, 3, engine);
+  ASSERT_TRUE(check_dfs_tree(gg.graph, res.tree).ok());
+  int max_depth = 0;
+  for (planar::NodeId v = 0; v < 12; ++v) {
+    max_depth = std::max(max_depth, res.tree.depth(v));
+  }
+  EXPECT_EQ(max_depth, 11);  // a Hamiltonian path
+}
+
+TEST(Dfs, WheelFromHub) {
+  const GeneratedGraph gg = planar::wheel(9);
+  shortcuts::PartwiseEngine engine(gg.graph, 0);
+  const DfsBuildResult res = build_dfs_tree(gg.graph, 0, engine);
+  EXPECT_TRUE(check_dfs_tree(gg.graph, res.tree).ok());
+}
+
+TEST(Dfs, JoinAbsorbsAllMarkedNodes) {
+  Rng rng(17);
+  const GeneratedGraph gg = planar::stacked_triangulation(60, rng);
+  shortcuts::PartwiseEngine engine(gg.graph, gg.root_hint);
+  PartialDfsTree tree(gg.graph, gg.root_hint);
+  // Mark an arbitrary tree path in the single component G − {root}.
+  std::vector<char> marked(gg.graph.num_nodes(), 0);
+  for (planar::NodeId v = 10; v < 20; ++v) marked[v] = 1;
+  marked[gg.root_hint] = 0;
+  const JoinResult jr = join_separators(tree, marked, engine);
+  for (planar::NodeId v = 0; v < gg.graph.num_nodes(); ++v) {
+    if (marked[v]) {
+      EXPECT_TRUE(tree.contains(v)) << v;
+    }
+  }
+  EXPECT_GT(jr.nodes_added, 0);
+  EXPECT_GT(jr.cost.measured, 0);
+}
+
+}  // namespace
+}  // namespace plansep::dfs

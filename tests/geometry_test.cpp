@@ -1,0 +1,109 @@
+// Independent geometric validation of the combinatorial region oracle.
+//
+// Everything in faces/ is tested against classify_cycle_region, which is
+// itself combinatorial (dual BFS over the rotation system). For
+// straight-line embeddings we can check that machinery against genuine
+// geometry: a node is inside a cycle iff the winding number of its
+// coordinates with respect to the cycle polygon is non-zero. Any
+// systematic error in face tracing, outer-face detection or the dual BFS
+// would show up here.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "planar/face_structure.hpp"
+#include "planar/generators.hpp"
+#include "planar/region.hpp"
+#include "tree/rooted_tree.hpp"
+#include "util/rng.hpp"
+
+namespace plansep::planar {
+namespace {
+
+/// Even-odd rule point-in-polygon (ray casting to +x).
+bool inside_polygon(const std::vector<Point>& poly, const Point& p) {
+  bool in = false;
+  for (std::size_t i = 0, j = poly.size() - 1; i < poly.size(); j = i++) {
+    const Point& a = poly[i];
+    const Point& b = poly[j];
+    if ((a.y > p.y) != (b.y > p.y)) {
+      const double x = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+      if (p.x < x) in = !in;
+    }
+  }
+  return in;
+}
+
+void check_instance(const GeneratedGraph& gg, std::uint64_t seed) {
+  const EmbeddedGraph& g = gg.graph;
+  ASSERT_TRUE(g.has_coordinates());
+  const FaceStructure fs(g);
+  const FaceId outer = fs.outer_face(g);
+  const auto& pts = g.coordinates();
+
+  // Fundamental cycles of a random-rooted BFS tree as test cycles.
+  Rng rng(seed);
+  const NodeId root = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+  const tree::RootedSpanningTree t = tree::RootedSpanningTree::bfs(g, root);
+  int cycles_checked = 0;
+  for (EdgeId e = 0; e < g.num_edges() && cycles_checked < 25; ++e) {
+    if (t.is_tree_edge(e)) continue;
+    const auto path = t.path(g.edge_u(e), g.edge_v(e));
+    if (path.size() < 3) continue;
+    ++cycles_checked;
+    const auto cycle = darts_of_node_cycle(g, path);
+    const RegionClassification rc = classify_cycle_region(g, fs, cycle, outer);
+
+    std::vector<Point> poly;
+    for (NodeId v : path) poly.push_back(pts[static_cast<std::size_t>(v)]);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (rc.node_side[static_cast<std::size_t>(v)] == Side::kOnCycle) {
+        continue;
+      }
+      const bool geo = inside_polygon(poly, pts[static_cast<std::size_t>(v)]);
+      const bool comb = rc.node_side[static_cast<std::size_t>(v)] == Side::kInside;
+      ASSERT_EQ(comb, geo) << gg.name << " seed=" << seed << " edge=" << e
+                           << " node=" << v;
+    }
+  }
+  EXPECT_GT(cycles_checked, 0) << gg.name;
+}
+
+TEST(Geometry, RegionClassificationMatchesWindingNumbers) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    check_instance(grid(7, 8), seed);
+    check_instance(grid_with_diagonals(7, 7, 0.6, rng), seed);
+    check_instance(cylinder(4, 9), seed);
+    check_instance(wheel(15), seed);
+    check_instance(outerplanar(18, 7, rng), seed);
+  }
+}
+
+TEST(Geometry, OuterFaceIsTheUnboundedOne) {
+  // Every node lies inside or on the convex hull; the outer face's walk
+  // must contain the extreme (bottom-most) vertex.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed);
+    const GeneratedGraph gg = grid_with_diagonals(6, 6, 0.5, rng);
+    const FaceStructure fs(gg.graph);
+    const FaceId outer = fs.outer_face(gg.graph);
+    const auto& pts = gg.graph.coordinates();
+    NodeId bottom = 0;
+    for (NodeId v = 1; v < gg.graph.num_nodes(); ++v) {
+      if (pts[v].y < pts[bottom].y ||
+          (pts[v].y == pts[bottom].y && pts[v].x < pts[bottom].x)) {
+        bottom = v;
+      }
+    }
+    bool on_outer = false;
+    for (planar::DartId d : fs.walk(outer)) {
+      on_outer |= (gg.graph.tail(d) == bottom);
+    }
+    EXPECT_TRUE(on_outer) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace plansep::planar

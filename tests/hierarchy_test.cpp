@@ -1,0 +1,81 @@
+// Tests for the recursive separator hierarchy: structure (pieces partition
+// the graph, children nest, leaves bounded), depth O(log(n/leaf)), and
+// leaf independence (no edge between different leaves — that is what makes
+// the hierarchy a divide-and-conquer tool).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/plansep.hpp"
+#include "separator/hierarchy.hpp"
+
+namespace plansep::separator {
+namespace {
+
+using planar::Family;
+using planar::NodeId;
+
+TEST(Hierarchy, StructureAndBalance) {
+  for (Family f : {Family::kGrid, Family::kTriangulation,
+                   Family::kRandomPlanar, Family::kOuterplanar}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const auto gg = planar::make_instance(f, 300, seed);
+      const auto& g = gg.graph;
+      shortcuts::PartwiseEngine engine(g, gg.root_hint);
+      const int leaf = 20;
+      const SeparatorHierarchy h = build_hierarchy(g, engine, leaf);
+
+      // Every node is either in exactly one leaf or a separator node.
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (h.in_separator[v]) {
+          EXPECT_EQ(h.leaf_of(v), -1) << v;
+        } else {
+          const int piece = h.leaf_of(v);
+          ASSERT_GE(piece, 0) << v;
+          EXPECT_LE(static_cast<int>(h.pieces[piece].nodes.size()), leaf);
+        }
+      }
+      // Depth O(log(n / leaf)) with the 2/3 shrinkage (generous constant).
+      const double bound =
+          4 * std::log2(static_cast<double>(g.num_nodes()) / leaf) + 4;
+      EXPECT_LE(h.levels, bound) << planar::family_name(f);
+      // Children nest within parents.
+      for (std::size_t i = 0; i < h.pieces.size(); ++i) {
+        for (int c : h.pieces[i].children) {
+          EXPECT_EQ(h.pieces[c].parent, static_cast<int>(i));
+          EXPECT_LT(h.pieces[c].nodes.size(), h.pieces[i].nodes.size());
+        }
+      }
+      EXPECT_GT(h.cost.measured, 0);
+    }
+  }
+}
+
+TEST(Hierarchy, LeavesAreMutuallyNonAdjacent) {
+  const auto gg = planar::make_instance(Family::kTriangulation, 400, 7);
+  const auto& g = gg.graph;
+  shortcuts::PartwiseEngine engine(g, gg.root_hint);
+  const SeparatorHierarchy h = build_hierarchy(g, engine, 25);
+  for (planar::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const NodeId a = g.edge_u(e);
+    const NodeId b = g.edge_v(e);
+    if (h.in_separator[a] || h.in_separator[b]) continue;
+    EXPECT_EQ(h.leaf_of(a), h.leaf_of(b))
+        << "edge {" << a << "," << b << "} crosses leaves";
+  }
+}
+
+TEST(Hierarchy, LeafSizeOneDegeneratesGracefully) {
+  const auto gg = planar::make_instance(Family::kGrid, 36, 1);
+  shortcuts::PartwiseEngine engine(gg.graph, gg.root_hint);
+  const SeparatorHierarchy h = build_hierarchy(gg.graph, engine, 1);
+  for (NodeId v = 0; v < gg.graph.num_nodes(); ++v) {
+    if (!h.in_separator[v]) {
+      EXPECT_EQ(h.pieces[h.leaf_of(v)].nodes.size(), 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace plansep::separator

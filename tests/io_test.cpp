@@ -1,0 +1,83 @@
+// Tests for the I/O glue: edge-list parsing (compaction, comments,
+// malformed input), DOT export, JSON summaries.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/plansep.hpp"
+#include "util/check.hpp"
+#include "util/io.hpp"
+
+namespace plansep::io {
+namespace {
+
+TEST(Io, ReadsEdgeListWithCommentsAndCompaction) {
+  std::istringstream in(
+      "# a comment\n"
+      "10 20\n"
+      "\n"
+      "20 30\n"
+      "  # indented comment\n"
+      "10 30\n");
+  const EdgeListInput got = read_edge_list(in);
+  EXPECT_EQ(got.num_nodes, 3);
+  ASSERT_EQ(got.edges.size(), 3u);
+  EXPECT_EQ(got.original_id[got.edges[0].first], 10);
+  EXPECT_EQ(got.original_id[got.edges[0].second], 20);
+  EXPECT_EQ(got.original_id[2], 30);
+}
+
+TEST(Io, RejectsMalformedLines) {
+  std::istringstream in("1 two\n");
+  EXPECT_THROW(read_edge_list(in), plansep::CheckError);
+  std::istringstream neg("-1 2\n");
+  EXPECT_THROW(read_edge_list(neg), plansep::CheckError);
+}
+
+TEST(Io, DotContainsNodesEdgesAndHighlights) {
+  const auto gg = planar::cycle(4);
+  std::vector<char> mark(4, 0);
+  mark[2] = 1;
+  const std::string dot = to_dot(gg.graph, mark);
+  EXPECT_NE(dot.find("graph G {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=gold"), std::string::npos);
+}
+
+TEST(Io, DotMarksTreeEdgesBold) {
+  const auto gg = planar::path(3);
+  dfs::PartialDfsTree tree(gg.graph, 0);
+  tree.attach_path(0, {1});
+  tree.attach_path(1, {2});
+  const std::string dot = to_dot(gg.graph, {}, &tree);
+  EXPECT_NE(dot.find("penwidth"), std::string::npos);
+}
+
+TEST(Io, DfsJsonRoundTripShape) {
+  const auto gg = planar::path(3);
+  const DfsRun run = compute_dfs_tree(gg.graph, 0);
+  const std::string json = dfs_to_json(run.build.tree);
+  EXPECT_EQ(json,
+            "{\"root\":0,\"parent\":[-1,0,1],\"depth\":[0,1,2]}");
+  EXPECT_EQ(nodes_to_json({3, 1, 4}), "[3,1,4]");
+}
+
+TEST(Io, EndToEndThroughEdgeListAndDmp) {
+  // Feed a grid through the text pipeline: serialize, parse, embed, run.
+  const auto gg = planar::grid(5, 5);
+  std::ostringstream os;
+  for (planar::EdgeId e = 0; e < gg.graph.num_edges(); ++e) {
+    os << 100 + gg.graph.edge_u(e) << ' ' << 100 + gg.graph.edge_v(e) << '\n';
+  }
+  std::istringstream in(os.str());
+  const EdgeListInput parsed = read_edge_list(in);
+  EXPECT_EQ(parsed.num_nodes, 25);
+  const auto emb = planar::planar_embedding(parsed.num_nodes, parsed.edges);
+  ASSERT_TRUE(emb.has_value());
+  const SeparatorRun run = compute_cycle_separator(*emb, 0);
+  EXPECT_TRUE(run.check.ok());
+}
+
+}  // namespace
+}  // namespace plansep::io

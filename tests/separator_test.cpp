@@ -1,0 +1,134 @@
+// End-to-end property tests for Theorem 1: the separator engine must mark,
+// in every part of every instance, a tree path whose removal leaves
+// components of at most 2/3 of the part — and must never fall back to the
+// last-resort scan (phase 99).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "planar/generators.hpp"
+#include "separator/engine.hpp"
+#include "separator/validate.hpp"
+#include "shortcuts/partwise.hpp"
+#include "subroutines/components.hpp"
+#include "subroutines/part_context.hpp"
+#include "util/rng.hpp"
+
+namespace plansep::separator {
+namespace {
+
+using planar::Family;
+using planar::GeneratedGraph;
+
+struct Case {
+  Family family;
+  int n;
+  std::uint64_t seeds;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string s = std::string(planar::family_name(info.param.family)) + "_" +
+                  std::to_string(info.param.n);
+  for (char& c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return s;
+}
+
+class SeparatorProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SeparatorProperty, WholeGraphSeparator) {
+  const Case& c = GetParam();
+  for (std::uint64_t seed = 1; seed <= c.seeds; ++seed) {
+    const GeneratedGraph gg = planar::make_instance(c.family, c.n, seed);
+    shortcuts::PartwiseEngine engine(gg.graph, gg.root_hint);
+    std::vector<int> part(gg.graph.num_nodes(), 0);
+    sub::PartSet ps = sub::build_part_set(gg.graph, part, 1, engine);
+    SeparatorEngine sep_engine(engine);
+    const SeparatorResult res = sep_engine.compute(ps);
+    ASSERT_EQ(res.parts.size(), 1u);
+    const SeparatorCheck chk = check_separator(ps, 0, res.parts[0]);
+    EXPECT_TRUE(chk.is_tree_path)
+        << planar::family_name(c.family) << " seed=" << seed;
+    EXPECT_TRUE(chk.balanced)
+        << planar::family_name(c.family) << " seed=" << seed
+        << " balance=" << chk.balance << " phase=" << res.parts[0].phase;
+    EXPECT_EQ(res.stats.phase_counts[7], 0)
+        << "last-resort fallback fired: " << planar::family_name(c.family)
+        << " seed=" << seed;
+    EXPECT_GT(res.cost.measured, 0);
+    EXPECT_GT(res.cost.charged, 0);
+  }
+}
+
+TEST_P(SeparatorProperty, MultiPartSeparators) {
+  // Partition the node set into the connected components left after
+  // removing a BFS ball around the root — a stand-in for the partitions
+  // arising inside the DFS recursion — plus the ball itself.
+  const Case& c = GetParam();
+  for (std::uint64_t seed = 1; seed <= c.seeds; ++seed) {
+    const GeneratedGraph gg = planar::make_instance(c.family, c.n, seed);
+    const auto& g = gg.graph;
+    shortcuts::PartwiseEngine engine(g, gg.root_hint);
+    // Ball of radius = height/3 around the root.
+    const auto& bfs = engine.global_tree();
+    const int radius = std::max(1, bfs.height / 3);
+    std::vector<char> in_ball(g.num_nodes(), 0);
+    for (planar::NodeId v = 0; v < g.num_nodes(); ++v) {
+      in_ball[v] = bfs.depth[v] <= radius;
+    }
+    const sub::Components outside = sub::connected_components(
+        g, [&](planar::NodeId v) { return !in_ball[v]; });
+    std::vector<int> part(g.num_nodes(), -1);
+    for (planar::NodeId v = 0; v < g.num_nodes(); ++v) {
+      part[v] = in_ball[v] ? 0 : 1 + outside.label[v];
+    }
+    const int num_parts = outside.count + 1;
+    sub::PartSet ps = sub::build_part_set(g, part, num_parts, engine);
+    SeparatorEngine sep_engine(engine);
+    const SeparatorResult res = sep_engine.compute(ps);
+    for (int p = 0; p < num_parts; ++p) {
+      const SeparatorCheck chk = check_separator(ps, p, res.parts[p]);
+      EXPECT_TRUE(chk.ok())
+          << planar::family_name(c.family) << " seed=" << seed
+          << " part=" << p << " size=" << ps.part_size(p)
+          << " balance=" << chk.balance << " phase=" << res.parts[p].phase;
+    }
+    EXPECT_EQ(res.stats.phase_counts[7], 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SeparatorProperty,
+    ::testing::Values(Case{Family::kGrid, 49, 5},
+                      Case{Family::kGrid, 100, 3},
+                      Case{Family::kGridDiagonals, 49, 5},
+                      Case{Family::kCylinder, 60, 4},
+                      Case{Family::kTriangulation, 40, 8},
+                      Case{Family::kTriangulation, 120, 4},
+                      Case{Family::kRandomPlanar, 60, 8},
+                      Case{Family::kRandomPlanar, 150, 4},
+                      Case{Family::kOuterplanar, 60, 6},
+                      Case{Family::kCycle, 30, 2},
+                      Case{Family::kRandomTree, 50, 4},
+                      Case{Family::kStar, 30, 2},
+                      Case{Family::kWheel, 25, 3}),
+    case_name);
+
+TEST(SeparatorEngine, TinyParts) {
+  // Parts of size 1, 2, 3 are handled by the trivial rule.
+  const GeneratedGraph gg = planar::path(6);
+  shortcuts::PartwiseEngine engine(gg.graph, 0);
+  // parts: {0}, {1,2}, {3,4,5}
+  std::vector<int> part{0, 1, 1, 2, 2, 2};
+  sub::PartSet ps = sub::build_part_set(gg.graph, part, 3, engine);
+  SeparatorEngine sep_engine(engine);
+  const SeparatorResult res = sep_engine.compute(ps);
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_TRUE(check_separator(ps, p, res.parts[p]).balanced) << p;
+  }
+}
+
+}  // namespace
+}  // namespace plansep::separator

@@ -1,0 +1,83 @@
+// Tests for apex triangulation and the BFS-level separator baseline.
+
+#include <gtest/gtest.h>
+
+#include "baselines/level_separator.hpp"
+#include "planar/face_structure.hpp"
+#include "planar/generators.hpp"
+#include "planar/triangulate.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace plansep::planar {
+namespace {
+
+TEST(Triangulate, GridBecomesAllTriangles) {
+  const GeneratedGraph gg = grid(5, 6);
+  const Triangulation tri = triangulate_with_apexes(gg.graph);
+  FaceStructure fs(tri.graph);
+  for (FaceId f = 0; f < fs.num_faces(); ++f) {
+    EXPECT_EQ(fs.walk(f).size(), 3u);
+  }
+  // One apex per unit square plus one for the outer face.
+  EXPECT_EQ(tri.apexes, 4 * 5 + 1);
+  // Original vertices keep their ids and mutual edges.
+  for (EdgeId e = 0; e < gg.graph.num_edges(); ++e) {
+    EXPECT_TRUE(tri.graph.has_edge(gg.graph.edge_u(e), gg.graph.edge_v(e)));
+  }
+  EXPECT_EQ(static_cast<int>(tri.is_apex.size()), tri.graph.num_nodes());
+}
+
+TEST(Triangulate, AlreadyTriangulatedIsUntouched) {
+  Rng rng(4);
+  const GeneratedGraph gg = stacked_triangulation(30, rng);
+  const Triangulation tri = triangulate_with_apexes(gg.graph);
+  EXPECT_EQ(tri.apexes, 0);
+  EXPECT_EQ(tri.graph.num_nodes(), gg.graph.num_nodes());
+  EXPECT_EQ(tri.graph.num_edges(), gg.graph.num_edges());
+}
+
+TEST(Triangulate, CycleGetsTwoApexes) {
+  const GeneratedGraph gg = cycle(8);
+  const Triangulation tri = triangulate_with_apexes(gg.graph);
+  EXPECT_EQ(tri.apexes, 2);  // inner and outer face
+  EXPECT_EQ(tri.graph.num_edges(), 8 + 2 * 8);
+}
+
+TEST(Triangulate, RejectsNonBiconnected) {
+  // A path has a single non-simple face walk.
+  const GeneratedGraph gg = path(4);
+  EXPECT_THROW(triangulate_with_apexes(gg.graph), CheckError);
+}
+
+TEST(LevelSeparator, GridLevelsWork) {
+  const GeneratedGraph gg = grid(12, 12);
+  const auto res = baselines::bfs_level_separator(gg.graph, 0);
+  ASSERT_TRUE(res.found);
+  EXPECT_LE(3 * res.balance, 2.0 + 1e-9);
+  // A diagonal BFS level of a corner-rooted grid has at most `side` nodes.
+  EXPECT_LE(res.separator.size(), 24u);
+}
+
+TEST(LevelSeparator, FailsOrIsHugeOnLowDiameterGraphs) {
+  // On a stacked triangulation the BFS tree is shallow: every level is a
+  // huge slab, so a balanced level separator (when one exists at all) is
+  // far larger than a cycle separator.
+  Rng rng(3);
+  const GeneratedGraph gg = stacked_triangulation(400, rng);
+  const auto res = baselines::bfs_level_separator(gg.graph, gg.root_hint);
+  if (res.found) {
+    EXPECT_GT(res.separator.size(), 30u);  // vs ~4 for the cycle separator
+  }
+}
+
+TEST(LevelSeparator, StarNeedsTheCenterLevel) {
+  const GeneratedGraph gg = star(20);
+  const auto res = baselines::bfs_level_separator(gg.graph, 1);
+  ASSERT_TRUE(res.found);
+  // Level 1 from a leaf = {center}.
+  EXPECT_EQ(res.separator.size(), 1u);
+}
+
+}  // namespace
+}  // namespace plansep::planar
