@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dfs_rounds.dir/bench_dfs_rounds.cpp.o"
+  "CMakeFiles/bench_dfs_rounds.dir/bench_dfs_rounds.cpp.o.d"
+  "bench_dfs_rounds"
+  "bench_dfs_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dfs_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

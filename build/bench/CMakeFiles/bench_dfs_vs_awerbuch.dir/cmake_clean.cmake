@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dfs_vs_awerbuch.dir/bench_dfs_vs_awerbuch.cpp.o"
+  "CMakeFiles/bench_dfs_vs_awerbuch.dir/bench_dfs_vs_awerbuch.cpp.o.d"
+  "bench_dfs_vs_awerbuch"
+  "bench_dfs_vs_awerbuch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dfs_vs_awerbuch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

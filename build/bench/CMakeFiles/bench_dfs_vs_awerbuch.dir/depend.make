@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_dfs_vs_awerbuch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lt.dir/bench_lt.cpp.o"
+  "CMakeFiles/bench_lt.dir/bench_lt.cpp.o.d"
+  "bench_lt"
+  "bench_lt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partwise.dir/bench_partwise.cpp.o"
+  "CMakeFiles/bench_partwise.dir/bench_partwise.cpp.o.d"
+  "bench_partwise"
+  "bench_partwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

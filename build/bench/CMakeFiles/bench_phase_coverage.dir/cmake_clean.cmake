@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_phase_coverage.dir/bench_phase_coverage.cpp.o"
+  "CMakeFiles/bench_phase_coverage.dir/bench_phase_coverage.cpp.o.d"
+  "bench_phase_coverage"
+  "bench_phase_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phase_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_separator_rounds.dir/bench_separator_rounds.cpp.o"
+  "CMakeFiles/bench_separator_rounds.dir/bench_separator_rounds.cpp.o.d"
+  "bench_separator_rounds"
+  "bench_separator_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_separator_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

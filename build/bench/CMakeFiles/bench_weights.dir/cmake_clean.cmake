@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weights.dir/bench_weights.cpp.o"
+  "CMakeFiles/bench_weights.dir/bench_weights.cpp.o.d"
+  "bench_weights"
+  "bench_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

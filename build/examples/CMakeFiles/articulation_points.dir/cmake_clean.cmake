@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/articulation_points.dir/articulation_points.cpp.o"
+  "CMakeFiles/articulation_points.dir/articulation_points.cpp.o.d"
+  "articulation_points"
+  "articulation_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/articulation_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

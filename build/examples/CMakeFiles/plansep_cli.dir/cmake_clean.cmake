@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plansep_cli.dir/plansep_cli.cpp.o"
+  "CMakeFiles/plansep_cli.dir/plansep_cli.cpp.o.d"
+  "plansep_cli"
+  "plansep_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plansep_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/separator_decomposition.dir/separator_decomposition.cpp.o"
+  "CMakeFiles/separator_decomposition.dir/separator_decomposition.cpp.o.d"
+  "separator_decomposition"
+  "separator_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/separator_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

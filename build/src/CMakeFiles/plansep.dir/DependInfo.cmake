@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/awerbuch.cpp" "src/CMakeFiles/plansep.dir/baselines/awerbuch.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/baselines/awerbuch.cpp.o.d"
+  "/root/repo/src/baselines/level_separator.cpp" "src/CMakeFiles/plansep.dir/baselines/level_separator.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/baselines/level_separator.cpp.o.d"
+  "/root/repo/src/baselines/randomized_separator.cpp" "src/CMakeFiles/plansep.dir/baselines/randomized_separator.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/baselines/randomized_separator.cpp.o.d"
+  "/root/repo/src/congest/bfs_tree.cpp" "src/CMakeFiles/plansep.dir/congest/bfs_tree.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/congest/bfs_tree.cpp.o.d"
+  "/root/repo/src/congest/network.cpp" "src/CMakeFiles/plansep.dir/congest/network.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/congest/network.cpp.o.d"
+  "/root/repo/src/core/plansep.cpp" "src/CMakeFiles/plansep.dir/core/plansep.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/core/plansep.cpp.o.d"
+  "/root/repo/src/dfs/builder.cpp" "src/CMakeFiles/plansep.dir/dfs/builder.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/dfs/builder.cpp.o.d"
+  "/root/repo/src/dfs/join.cpp" "src/CMakeFiles/plansep.dir/dfs/join.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/dfs/join.cpp.o.d"
+  "/root/repo/src/dfs/partial_tree.cpp" "src/CMakeFiles/plansep.dir/dfs/partial_tree.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/dfs/partial_tree.cpp.o.d"
+  "/root/repo/src/dfs/validate.cpp" "src/CMakeFiles/plansep.dir/dfs/validate.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/dfs/validate.cpp.o.d"
+  "/root/repo/src/faces/augmentation.cpp" "src/CMakeFiles/plansep.dir/faces/augmentation.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/faces/augmentation.cpp.o.d"
+  "/root/repo/src/faces/containment.cpp" "src/CMakeFiles/plansep.dir/faces/containment.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/faces/containment.cpp.o.d"
+  "/root/repo/src/faces/fundamental.cpp" "src/CMakeFiles/plansep.dir/faces/fundamental.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/faces/fundamental.cpp.o.d"
+  "/root/repo/src/faces/hidden.cpp" "src/CMakeFiles/plansep.dir/faces/hidden.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/faces/hidden.cpp.o.d"
+  "/root/repo/src/faces/membership.cpp" "src/CMakeFiles/plansep.dir/faces/membership.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/faces/membership.cpp.o.d"
+  "/root/repo/src/faces/weight_oracle.cpp" "src/CMakeFiles/plansep.dir/faces/weight_oracle.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/faces/weight_oracle.cpp.o.d"
+  "/root/repo/src/faces/weights.cpp" "src/CMakeFiles/plansep.dir/faces/weights.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/faces/weights.cpp.o.d"
+  "/root/repo/src/planar/dmp_embedder.cpp" "src/CMakeFiles/plansep.dir/planar/dmp_embedder.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/planar/dmp_embedder.cpp.o.d"
+  "/root/repo/src/planar/embedded_graph.cpp" "src/CMakeFiles/plansep.dir/planar/embedded_graph.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/planar/embedded_graph.cpp.o.d"
+  "/root/repo/src/planar/face_structure.cpp" "src/CMakeFiles/plansep.dir/planar/face_structure.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/planar/face_structure.cpp.o.d"
+  "/root/repo/src/planar/generators.cpp" "src/CMakeFiles/plansep.dir/planar/generators.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/planar/generators.cpp.o.d"
+  "/root/repo/src/planar/planarity.cpp" "src/CMakeFiles/plansep.dir/planar/planarity.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/planar/planarity.cpp.o.d"
+  "/root/repo/src/planar/region.cpp" "src/CMakeFiles/plansep.dir/planar/region.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/planar/region.cpp.o.d"
+  "/root/repo/src/planar/triangulate.cpp" "src/CMakeFiles/plansep.dir/planar/triangulate.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/planar/triangulate.cpp.o.d"
+  "/root/repo/src/separator/engine.cpp" "src/CMakeFiles/plansep.dir/separator/engine.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/separator/engine.cpp.o.d"
+  "/root/repo/src/separator/hierarchy.cpp" "src/CMakeFiles/plansep.dir/separator/hierarchy.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/separator/hierarchy.cpp.o.d"
+  "/root/repo/src/separator/validate.cpp" "src/CMakeFiles/plansep.dir/separator/validate.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/separator/validate.cpp.o.d"
+  "/root/repo/src/separator/weighted.cpp" "src/CMakeFiles/plansep.dir/separator/weighted.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/separator/weighted.cpp.o.d"
+  "/root/repo/src/shortcuts/partwise.cpp" "src/CMakeFiles/plansep.dir/shortcuts/partwise.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/shortcuts/partwise.cpp.o.d"
+  "/root/repo/src/shortcuts/partwise_message.cpp" "src/CMakeFiles/plansep.dir/shortcuts/partwise_message.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/shortcuts/partwise_message.cpp.o.d"
+  "/root/repo/src/subroutines/components.cpp" "src/CMakeFiles/plansep.dir/subroutines/components.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/subroutines/components.cpp.o.d"
+  "/root/repo/src/subroutines/part_context.cpp" "src/CMakeFiles/plansep.dir/subroutines/part_context.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/subroutines/part_context.cpp.o.d"
+  "/root/repo/src/subroutines/problems.cpp" "src/CMakeFiles/plansep.dir/subroutines/problems.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/subroutines/problems.cpp.o.d"
+  "/root/repo/src/subroutines/spanning_forest.cpp" "src/CMakeFiles/plansep.dir/subroutines/spanning_forest.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/subroutines/spanning_forest.cpp.o.d"
+  "/root/repo/src/tree/rooted_tree.cpp" "src/CMakeFiles/plansep.dir/tree/rooted_tree.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/tree/rooted_tree.cpp.o.d"
+  "/root/repo/src/util/check.cpp" "src/CMakeFiles/plansep.dir/util/check.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/util/check.cpp.o.d"
+  "/root/repo/src/util/io.cpp" "src/CMakeFiles/plansep.dir/util/io.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/util/io.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/plansep.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/plansep.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/plansep.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/plansep.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

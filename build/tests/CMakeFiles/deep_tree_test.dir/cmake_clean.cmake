@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_tree_test.dir/deep_tree_test.cpp.o"
+  "CMakeFiles/deep_tree_test.dir/deep_tree_test.cpp.o.d"
+  "deep_tree_test"
+  "deep_tree_test.pdb"
+  "deep_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmp_test.dir/dmp_test.cpp.o"
+  "CMakeFiles/dmp_test.dir/dmp_test.cpp.o.d"
+  "dmp_test"
+  "dmp_test.pdb"
+  "dmp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

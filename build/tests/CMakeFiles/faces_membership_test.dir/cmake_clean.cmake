@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faces_membership_test.dir/faces_membership_test.cpp.o"
+  "CMakeFiles/faces_membership_test.dir/faces_membership_test.cpp.o.d"
+  "faces_membership_test"
+  "faces_membership_test.pdb"
+  "faces_membership_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faces_membership_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

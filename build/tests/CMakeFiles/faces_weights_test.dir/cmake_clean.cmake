@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faces_weights_test.dir/faces_weights_test.cpp.o"
+  "CMakeFiles/faces_weights_test.dir/faces_weights_test.cpp.o.d"
+  "faces_weights_test"
+  "faces_weights_test.pdb"
+  "faces_weights_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faces_weights_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

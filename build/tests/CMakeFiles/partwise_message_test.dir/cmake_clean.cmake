@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partwise_message_test.dir/partwise_message_test.cpp.o"
+  "CMakeFiles/partwise_message_test.dir/partwise_message_test.cpp.o.d"
+  "partwise_message_test"
+  "partwise_message_test.pdb"
+  "partwise_message_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partwise_message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

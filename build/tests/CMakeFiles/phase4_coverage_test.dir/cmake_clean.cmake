@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase4_coverage_test.dir/phase4_coverage_test.cpp.o"
+  "CMakeFiles/phase4_coverage_test.dir/phase4_coverage_test.cpp.o.d"
+  "phase4_coverage_test"
+  "phase4_coverage_test.pdb"
+  "phase4_coverage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase4_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planar_test.dir/planar_test.cpp.o"
+  "CMakeFiles/planar_test.dir/planar_test.cpp.o.d"
+  "planar_test"
+  "planar_test.pdb"
+  "planar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

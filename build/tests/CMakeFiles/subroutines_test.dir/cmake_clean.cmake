@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subroutines_test.dir/subroutines_test.cpp.o"
+  "CMakeFiles/subroutines_test.dir/subroutines_test.cpp.o.d"
+  "subroutines_test"
+  "subroutines_test.pdb"
+  "subroutines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subroutines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triangulate_test.dir/triangulate_test.cpp.o"
+  "CMakeFiles/triangulate_test.dir/triangulate_test.cpp.o.d"
+  "triangulate_test"
+  "triangulate_test.pdb"
+  "triangulate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triangulate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

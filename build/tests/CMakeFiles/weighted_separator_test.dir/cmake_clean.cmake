@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_separator_test.dir/weighted_separator_test.cpp.o"
+  "CMakeFiles/weighted_separator_test.dir/weighted_separator_test.cpp.o.d"
+  "weighted_separator_test"
+  "weighted_separator_test.pdb"
+  "weighted_separator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_separator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

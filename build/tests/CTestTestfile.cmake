@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/planar_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_test[1]_include.cmake")
+include("/root/repo/build/tests/faces_weights_test[1]_include.cmake")
+include("/root/repo/build/tests/faces_membership_test[1]_include.cmake")
+include("/root/repo/build/tests/congest_test[1]_include.cmake")
+include("/root/repo/build/tests/separator_test[1]_include.cmake")
+include("/root/repo/build/tests/dfs_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/subroutines_test[1]_include.cmake")
+include("/root/repo/build/tests/dmp_test[1]_include.cmake")
+include("/root/repo/build/tests/deep_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/phase4_coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/hierarchy_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/triangulate_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/partwise_message_test[1]_include.cmake")
+include("/root/repo/build/tests/geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/weighted_separator_test[1]_include.cmake")

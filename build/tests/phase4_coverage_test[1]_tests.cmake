@@ -1,0 +1,3 @@
+add_test([=[Phase4Coverage.AugmentationAndHiddenFallbackExercised]=]  /root/repo/build/tests/phase4_coverage_test [==[--gtest_filter=Phase4Coverage.AugmentationAndHiddenFallbackExercised]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Phase4Coverage.AugmentationAndHiddenFallbackExercised]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  phase4_coverage_test_TESTS Phase4Coverage.AugmentationAndHiddenFallbackExercised)
