@@ -6,6 +6,18 @@
 
 namespace plansep::congest {
 
+namespace {
+TraceSink* g_trace_sink = nullptr;
+}  // namespace
+
+TraceSink* set_global_trace_sink(TraceSink* sink) {
+  TraceSink* prev = g_trace_sink;
+  g_trace_sink = sink;
+  return prev;
+}
+
+TraceSink* global_trace_sink() { return g_trace_sink; }
+
 void Ctx::send(NodeId neighbor, const Message& msg) {
   net_->do_send(self_, neighbor, msg, round_);
 }
@@ -30,6 +42,7 @@ void Network::do_send(NodeId from, NodeId to, const Message& msg, int round) {
                     "CONGEST bandwidth exceeded: two messages on one edge");
   sent_round_[static_cast<std::size_t>(d)] = round;
   ++messages_sent_;
+  if (active_sink_) active_sink_->on_send(round, from, to, msg);
   // Staged for delivery after every node has taken its turn this round —
   // synchronous semantics: messages sent in round r are readable in r+1.
   staged_.push_back({to, Incoming{from, msg}});
@@ -42,6 +55,8 @@ int Network::run(NodeProgram& prog, int max_rounds) {
   active_next_.clear();
   staged_.clear();
   messages_sent_ = 0;
+  active_sink_ = sink_ ? sink_ : g_trace_sink;
+  if (active_sink_) active_sink_->on_run_begin(*g_);
 
   std::vector<NodeId> active = prog.initial_nodes(*g_);
   std::sort(active.begin(), active.end());
@@ -73,8 +88,13 @@ int Network::run(NodeProgram& prog, int max_rounds) {
     }
     active = active_next_;
     for (NodeId v : active) woken_[static_cast<std::size_t>(v)] = 0;
+    if (active_sink_) {
+      active_sink_->on_round_end(round, static_cast<int>(active.size()),
+                                 static_cast<long long>(staged_.size()));
+    }
     ++round;
   }
+  active_sink_ = nullptr;
   return round;
 }
 

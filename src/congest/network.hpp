@@ -38,6 +38,31 @@ struct Incoming {
 
 class Network;
 
+/// Observer of message-level execution (opt-in; the proptest harness's
+/// trace recorder in src/testing/trace.hpp is the canonical sink). Hooks
+/// fire synchronously inside Network::run; sinks must not mutate the
+/// network.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// A fresh run() started on a network over g.
+  virtual void on_run_begin(const EmbeddedGraph& g) { (void)g; }
+  /// A message was accepted for delivery (after the bandwidth check).
+  virtual void on_send(int round, NodeId from, NodeId to,
+                       const Message& msg) = 0;
+  /// A round finished: `activated` nodes will run next round, `delivered`
+  /// messages were staged this round.
+  virtual void on_round_end(int round, int activated, long long delivered) {
+    (void)round, (void)activated, (void)delivered;
+  }
+};
+
+/// Installs a process-wide sink that every Network picks up at run() time
+/// unless it has its own (set_trace_sink). Returns the previous sink; pass
+/// nullptr to detach. The simulator is single-threaded, and so is this.
+TraceSink* set_global_trace_sink(TraceSink* sink);
+TraceSink* global_trace_sink();
+
 /// Per-node send/wake interface handed to NodeProgram::round.
 class Ctx {
  public:
@@ -48,7 +73,7 @@ class Ctx {
   /// Ensures this node's round() is invoked next round even without mail.
   void wake_next_round();
 
-  /// Ensures node v runs in round 0 (call from init()).
+  /// This node's id.
   NodeId self() const { return self_; }
   int round() const { return round_; }
 
@@ -81,11 +106,16 @@ class Network {
   long long messages_sent() const { return messages_sent_; }
   const EmbeddedGraph& graph() const { return *g_; }
 
+  /// Instance-level trace sink; overrides the global one. nullptr detaches.
+  void set_trace_sink(TraceSink* sink) { sink_ = sink; }
+
  private:
   friend class Ctx;
   void do_send(NodeId from, NodeId to, const Message& msg, int round);
 
   const EmbeddedGraph* g_;
+  TraceSink* sink_ = nullptr;
+  TraceSink* active_sink_ = nullptr;  // resolved at run() entry
   long long messages_sent_ = 0;
   // Per-round delivery state.
   std::vector<std::vector<Incoming>> inbox_;

@@ -4,6 +4,22 @@
 
 namespace plansep::dfs {
 
+std::string DfsCheck::summary() const {
+  if (ok()) return "ok";
+  std::string s;
+  auto add = [&](const char* what) {
+    if (!s.empty()) s += ", ";
+    s += what;
+  };
+  if (!spanning) add("not spanning");
+  if (!depths_consistent) add("inconsistent depths");
+  if (!dfs_property) {
+    add("dfs_property (");
+    s += std::to_string(violating_edges) + " violating edges)";
+  }
+  return s;
+}
+
 DfsCheck check_dfs_tree(const planar::EmbeddedGraph& g,
                         const PartialDfsTree& tree) {
   DfsCheck out;

@@ -4,6 +4,8 @@
 // is a DFS tree iff every non-tree edge of G joins an ancestor/descendant
 // pair — the classic characterization the tests rely on.
 
+#include <string>
+
 #include "dfs/partial_tree.hpp"
 
 namespace plansep::dfs {
@@ -14,6 +16,8 @@ struct DfsCheck {
   bool dfs_property = false;       // all edges ancestor-related
   long long violating_edges = 0;
   bool ok() const { return spanning && depths_consistent && dfs_property; }
+  /// One-line failure description, e.g. "dfs_property (3 violating edges)".
+  std::string summary() const;
 };
 
 DfsCheck check_dfs_tree(const planar::EmbeddedGraph& g,

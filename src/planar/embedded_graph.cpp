@@ -76,7 +76,8 @@ NodeId EmbeddedGraph::add_node() {
 }
 
 void EmbeddedGraph::set_coordinates(std::vector<Point> coords) {
-  PLANSEP_CHECK(static_cast<NodeId>(coords.size()) == num_nodes());
+  PLANSEP_CHECK(coords.empty() ||
+                static_cast<NodeId>(coords.size()) == num_nodes());
   coords_ = std::move(coords);
 }
 

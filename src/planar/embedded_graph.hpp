@@ -99,6 +99,8 @@ class EmbeddedGraph {
 
   bool has_coordinates() const { return !coords_.empty(); }
   const std::vector<Point>& coordinates() const { return coords_; }
+  /// One point per node; an empty vector drops the coordinates (used when a
+  /// mutation invalidates the straight-line embedding).
   void set_coordinates(std::vector<Point> coords);
 
   /// Neighbors of v in rotation order (convenience; allocates).

@@ -325,6 +325,13 @@ const char* family_name(Family f) {
   return "?";
 }
 
+std::optional<Family> family_from_name(std::string_view name) {
+  for (Family f : all_families()) {
+    if (name == family_name(f)) return f;
+  }
+  return std::nullopt;
+}
+
 GeneratedGraph make_instance(Family f, int n, std::uint64_t seed) {
   Rng rng(seed);
   switch (f) {

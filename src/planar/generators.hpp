@@ -9,7 +9,9 @@
 // stacked triangulations (D ≈ log n), outerplanar/cycles (D ≈ n/2) and
 // trees (no fundamental edges — Phase 2 of the separator algorithm).
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -85,6 +87,10 @@ enum class Family {
 };
 
 const char* family_name(Family f);
+
+/// Inverse of family_name (used by the proptest replay commands);
+/// nullopt for unknown names.
+std::optional<Family> family_from_name(std::string_view name);
 
 /// Builds an instance of the family with about n nodes (exact for most
 /// families) using the given seed.

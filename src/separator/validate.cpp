@@ -24,6 +24,19 @@ SeparatorCheck check_separator(const sub::PartSet& ps, int p,
     for (NodeId v : sep.path) {
       if (ps.part_of(v) != p) out.is_tree_path = false;
     }
+    out.simple_path =
+        std::adjacent_find(b.begin(), b.end()) == b.end();
+    // Cycle closure: when a real fundamental edge closes the cycle, it must
+    // join the path's endpoints; otherwise the closure is a virtual
+    // (embedding-compatible) edge or the separator is a bare tree path.
+    if (sep.closing_edge == planar::kNoEdge) {
+      out.closure_ok = true;
+    } else {
+      const NodeId u = g.edge_u(sep.closing_edge);
+      const NodeId v = g.edge_v(sep.closing_edge);
+      out.closure_ok = (u == sep.endpoint_a && v == sep.endpoint_b) ||
+                       (u == sep.endpoint_b && v == sep.endpoint_a);
+    }
   }
 
   // Balance.

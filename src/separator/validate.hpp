@@ -8,10 +8,15 @@ namespace plansep::separator {
 
 struct SeparatorCheck {
   bool is_tree_path = false;   // marked set is a path of the part's tree
+  bool simple_path = false;    // no node repeats on the marked path
+  bool closure_ok = false;     // the real closing edge (when any) joins the
+                               // path's endpoints — Theorem 1's cycle
   bool balanced = false;       // every component of G[P]−S has ≤ 2n/3 nodes
   double balance = 0;          // max component size / n
   int components = 0;
-  bool ok() const { return is_tree_path && balanced; }
+  bool ok() const {
+    return is_tree_path && simple_path && closure_ok && balanced;
+  }
 };
 
 /// Checks one part's separator against its PartSet.

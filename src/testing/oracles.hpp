@@ -1,0 +1,101 @@
+#pragma once
+
+// Centralized invariant oracles for the property-based harness.
+//
+// Each oracle re-checks one of the paper's structural guarantees from
+// scratch, with full knowledge of the graph (no distributed state):
+//
+//   * embedding      — the rotation system is a plane embedding (Euler
+//                      genus 0) of a connected graph;
+//   * triangulation  — apex triangulation leaves every face a triangle and
+//                      stays planar;
+//   * cycle separator (Theorem 1) — marked set is a simple tree path whose
+//                      endpoints the closing edge joins, components of
+//                      G[P]−S have ≤ 2/3 of the part (weighted variant:
+//                      ≤ 2/3 of the total weight);
+//   * DFS tree (Theorem 2) — spanning, depths consistent, every graph edge
+//                      joins an ancestor/descendant pair;
+//   * hierarchy      — pieces partition correctly, children shrink by the
+//                      2/3 factor, leaves respect the size cutoff;
+//   * bandwidth      — a captured CONGEST trace sends at most one message
+//                      per directed edge per round, neighbors only;
+//   * round envelope — measured/charged rounds stay within 2× of a budget
+//                      calibrated to current behaviour, so regressions of
+//                      more than 2× fail loudly.
+//
+// Violations accumulate in an InvariantReport rather than throwing, so one
+// failing case reports every broken invariant at once and the proptest
+// shrinker can re-evaluate cheaply.
+
+#include <string>
+#include <vector>
+
+#include "dfs/partial_tree.hpp"
+#include "planar/triangulate.hpp"
+#include "separator/engine.hpp"
+#include "separator/hierarchy.hpp"
+#include "subroutines/part_context.hpp"
+#include "testing/trace.hpp"
+
+namespace plansep::testing {
+
+struct InvariantReport {
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+  void fail(std::string what) { violations.push_back(std::move(what)); }
+  /// Newline-joined violation list ("" when ok).
+  std::string to_string() const;
+};
+
+/// Rotation system is a plane embedding (genus 0); connected when
+/// `require_connected`.
+void check_embedding(const planar::EmbeddedGraph& g, bool require_connected,
+                     InvariantReport& rep);
+
+/// Apex triangulation of g: planar, original ids preserved as a prefix,
+/// every face a triangle (unless the graph is too small to have one).
+void check_triangulation(const planar::EmbeddedGraph& g,
+                         const planar::Triangulation& tri,
+                         InvariantReport& rep);
+
+/// Theorem 1 on part p of ps.
+void check_cycle_separator(const sub::PartSet& ps, int p,
+                           const separator::PartSeparator& sep,
+                           InvariantReport& rep);
+
+/// Weighted Theorem 1: components of G[P]−S weigh ≤ 2/3 of the part total.
+void check_weighted_separator(const sub::PartSet& ps, int p,
+                              const separator::PartSeparator& sep,
+                              const std::vector<long long>& weight,
+                              InvariantReport& rep);
+
+/// Theorem 2 on the built tree.
+void check_dfs_tree_oracle(const planar::EmbeddedGraph& g,
+                           const dfs::PartialDfsTree& tree,
+                           InvariantReport& rep);
+
+/// Separator-hierarchy structure over connected g.
+void check_hierarchy(const planar::EmbeddedGraph& g,
+                     const separator::SeparatorHierarchy& h, int leaf_size,
+                     InvariantReport& rep);
+
+/// CONGEST discipline over a captured trace: per run, at most one message
+/// per directed edge per round, and messages only between neighbors of g.
+void check_bandwidth(const planar::EmbeddedGraph& g,
+                     const std::vector<TraceEvent>& events,
+                     InvariantReport& rep);
+
+/// Round budget: rounds ≤ 2 · max(floor_rounds, per_d_log2n·(D+1)·log²(n+2)).
+/// Constants are calibrated to current measurements (see the proptest
+/// suites); the factor 2 is the allowed regression headroom.
+struct RoundEnvelope {
+  double per_d_log2n = 1.0;
+  long long floor_rounds = 64;
+  long long budget(int diameter, int n) const;
+};
+
+void check_round_envelope(const char* stage, long long rounds, int diameter,
+                          int n, const RoundEnvelope& env,
+                          InvariantReport& rep);
+
+}  // namespace plansep::testing

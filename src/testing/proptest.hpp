@@ -1,0 +1,161 @@
+#pragma once
+
+// Property-based testing harness with seeded replay.
+//
+// Turns the paper's theorems into machine-checked properties over
+// thousands of random planar instances:
+//
+//   * seeded generation across every family of planar/generators.hpp,
+//     plus adversarial mutations (pendant trees, subdivided edges,
+//     degenerate weight vectors) that preserve planarity;
+//   * a pipeline runner (embedding → triangulation → separator engine →
+//     hierarchy → DFS builder) that folds the centralized oracles of
+//     oracles.hpp over every stage, with opt-in CONGEST trace capture;
+//   * deterministic failure handling: a failing case is greedily shrunk
+//     (smaller n, mutation dropped) and reported as a one-line replay
+//     command `--seed=<N> --family=<F> --n=<K> [--mutation=<M>]` that
+//     parse_replay/run_one reproduce bit-for-bit.
+//
+// Everything is a pure function of the CaseSpec — no global RNG, no time,
+// no test-order dependence — so a replay command from a CI log reproduces
+// the exact instance locally.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "planar/generators.hpp"
+#include "testing/oracles.hpp"
+
+namespace plansep::testing {
+
+// ---------------------------------------------------------------- cases --
+
+enum class Mutation {
+  kNone,
+  kPendantTrees,      // hang random small trees off random nodes
+  kSubdividedEdges,   // replace random edges u–v by u–w–v
+  kDegenerateWeights, // skewed weight vector (one-heavy / sparse 0-1 / huge)
+  kCombined,          // all of the above
+};
+
+const char* mutation_name(Mutation m);
+std::optional<Mutation> mutation_from_name(std::string_view name);
+
+struct CaseSpec {
+  planar::Family family = planar::Family::kGrid;
+  int n = 0;
+  std::uint64_t seed = 0;
+  Mutation mutation = Mutation::kNone;
+
+  /// The one-line replay command:
+  /// "--seed=7 --family=grid --n=64 --mutation=pendant_trees".
+  std::string replay() const;
+};
+
+/// Parses a replay command (tokens in any order; --mutation optional).
+std::optional<CaseSpec> parse_replay(std::string_view line);
+
+struct Instance {
+  CaseSpec spec;
+  planar::GeneratedGraph gg;
+  /// Per-node weights for the weighted-separator property; all-ones unless
+  /// the mutation installs a degenerate vector.
+  std::vector<long long> weight;
+};
+
+/// Deterministically builds the instance for a spec (generation followed
+/// by the spec's mutation, all driven by the spec's seed).
+Instance build_instance(const CaseSpec& spec);
+
+// ------------------------------------------------------------- pipeline --
+
+struct PipelineOptions {
+  bool run_hierarchy = true;
+  bool run_dfs = true;
+  int leaf_size = 8;
+  /// Capture the CONGEST message trace of the run and check the per-edge
+  /// per-round bandwidth discipline on it; also exercises the
+  /// message-level part-wise aggregation protocol.
+  bool capture_trace = false;
+  /// Round envelopes (see oracles.hpp). Calibrated against the current
+  /// engine over 500 cases across all families up to n=140: the observed
+  /// maxima are ~6.6·(D+1)·log²n (separator) and ~24.4·(D+1)·log²n (DFS),
+  /// with small-n constant floors of ~480 and ~950 rounds. The envelope
+  /// already allows 2× on top of these budgets, so tripping it means the
+  /// cost more than doubled against calibration.
+  RoundEnvelope separator_envelope{8.0, 512};
+  RoundEnvelope dfs_envelope{30.0, 1024};
+};
+
+struct PipelineStats {
+  int n = 0;
+  int diameter_bound = 0;
+  long long separator_measured = 0;
+  long long separator_charged = 0;
+  int separator_phase = 0;
+  int hierarchy_levels = 0;
+  int dfs_phases = 0;
+  long long dfs_measured = 0;
+  long long dfs_charged = 0;
+  long long trace_messages = 0;
+};
+
+/// Runs the full pipeline on the instance, folding every stage's oracle
+/// into `rep`; returns measured statistics.
+PipelineStats run_pipeline_checked(const Instance& inst,
+                                   const PipelineOptions& opt,
+                                   InvariantReport& rep);
+
+// -------------------------------------------------------------- runner --
+
+struct PropConfig {
+  int cases = 200;
+  /// Families to draw from; empty = a default diverse set spanning grids,
+  /// triangulations, sparse random planar, outerplanar, cycles, trees and
+  /// wheels.
+  std::vector<planar::Family> families;
+  int min_n = 12;
+  int max_n = 96;
+  /// Probability that a case carries a mutation.
+  double mutation_probability = 0.35;
+  std::uint64_t base_seed = 1;
+  /// Max extra property evaluations spent shrinking one failure.
+  int shrink_budget = 48;
+  /// Stop after this many failures (each is shrunk, which costs runs).
+  int max_failures = 3;
+};
+
+using Property = std::function<void(const Instance&, InvariantReport&)>;
+
+struct Failure {
+  CaseSpec original;
+  CaseSpec shrunk;
+  std::string replay;  // replay command of the shrunk case
+  std::string report;  // violations of the shrunk case
+};
+
+struct PropResult {
+  int cases_run = 0;
+  std::vector<Failure> failures;
+  bool ok() const { return failures.empty(); }
+  /// "420 cases ok" or the replay commands of every failure.
+  std::string summary() const;
+};
+
+/// Runs `cfg.cases` seeded instances of the property. Each failure is
+/// greedily shrunk and reported as a single line on stderr:
+///   [proptest] FAIL <name>; replay: --seed=... --family=... --n=...
+PropResult run_property(const std::string& name, const PropConfig& cfg,
+                        const Property& prop);
+
+/// Re-runs the property on one spec — the replay entry point.
+InvariantReport run_one(const CaseSpec& spec, const Property& prop);
+
+/// The default family mix used when PropConfig::families is empty.
+std::vector<planar::Family> default_families();
+
+}  // namespace plansep::testing

@@ -1,0 +1,75 @@
+#include "testing/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace plansep::testing {
+
+bool operator==(const TraceEvent& a, const TraceEvent& b) {
+  return a.run == b.run && a.round == b.round && a.from == b.from &&
+         a.to == b.to && a.msg.tag == b.msg.tag && a.msg.a == b.msg.a &&
+         a.msg.b == b.msg.b && a.msg.c == b.msg.c;
+}
+
+void TraceRecorder::on_run_begin(const congest::EmbeddedGraph&) { ++runs_; }
+
+void TraceRecorder::on_send(int round, congest::NodeId from,
+                            congest::NodeId to, const congest::Message& msg) {
+  events_.push_back({runs_ - 1, round, from, to, msg});
+}
+
+void TraceRecorder::clear() {
+  events_.clear();
+  runs_ = 0;
+}
+
+std::string TraceRecorder::format(const TraceEvent& e) {
+  std::ostringstream os;
+  os << "run=" << e.run << " r=" << e.round << " " << e.from << "->" << e.to
+     << " tag=" << static_cast<int>(e.msg.tag) << " a=" << e.msg.a
+     << " b=" << e.msg.b << " c=" << e.msg.c;
+  return os.str();
+}
+
+int first_divergence(const std::vector<TraceEvent>& a,
+                     const std::vector<TraceEvent>& b) {
+  const std::size_t common = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (!(a[i] == b[i])) return static_cast<int>(i);
+  }
+  if (a.size() != b.size()) return static_cast<int>(common);
+  return -1;
+}
+
+std::string diff_traces(const std::vector<TraceEvent>& a,
+                        const std::vector<TraceEvent>& b, int context) {
+  const int at = first_divergence(a, b);
+  if (at < 0) return "";
+  std::ostringstream os;
+  os << "traces diverge at event " << at << " (|a|=" << a.size()
+     << ", |b|=" << b.size() << ")\n";
+  const int lo = std::max(0, at - context);
+  const int hi = at + context;
+  for (int i = lo; i <= hi; ++i) {
+    const bool in_a = i < static_cast<int>(a.size());
+    const bool in_b = i < static_cast<int>(b.size());
+    if (!in_a && !in_b) break;
+    os << (i == at ? ">" : " ") << " [" << i << "] a: "
+       << (in_a ? TraceRecorder::format(a[static_cast<std::size_t>(i)])
+                : std::string("<end>"))
+       << " | b: "
+       << (in_b ? TraceRecorder::format(b[static_cast<std::size_t>(i)])
+                : std::string("<end>"))
+       << "\n";
+  }
+  return os.str();
+}
+
+ScopedTraceCapture::ScopedTraceCapture(TraceRecorder& rec)
+    : prev_(congest::set_global_trace_sink(&rec)) {}
+
+ScopedTraceCapture::~ScopedTraceCapture() {
+  congest::set_global_trace_sink(prev_);
+}
+
+}  // namespace plansep::testing

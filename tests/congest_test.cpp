@@ -44,6 +44,55 @@ TEST(Network, BandwidthViolationThrows) {
   EXPECT_THROW(net.run(bad, 4), CheckError);
 }
 
+TEST(Network, MaxRoundsCutsOffRunawayProgram) {
+  // A program that wakes itself forever never quiesces; run() must stop at
+  // exactly max_rounds and report that count.
+  class Forever : public congest::NodeProgram {
+   public:
+    std::vector<NodeId> initial_nodes(const planar::EmbeddedGraph&) override {
+      return {0};
+    }
+    void round(NodeId, const std::vector<congest::Incoming>&,
+               congest::Ctx& ctx) override {
+      ctx.wake_next_round();
+      ++rounds_seen;
+    }
+    int rounds_seen = 0;
+  };
+  const GeneratedGraph gg = planar::path(4);
+  congest::Network net(gg.graph);
+  Forever prog;
+  const int rounds = net.run(prog, 17);
+  EXPECT_EQ(rounds, 17);
+  EXPECT_EQ(prog.rounds_seen, 17);
+  EXPECT_EQ(net.messages_sent(), 0);
+}
+
+TEST(Network, QuiescesAfterSilentWakeUps) {
+  // Wake-ups without messages keep a node active but cost no bandwidth;
+  // once the node stops asking, the network reaches quiescence on its own,
+  // well before max_rounds.
+  class CountDown : public congest::NodeProgram {
+   public:
+    std::vector<NodeId> initial_nodes(const planar::EmbeddedGraph&) override {
+      return {2};
+    }
+    void round(NodeId, const std::vector<congest::Incoming>& inbox,
+               congest::Ctx& ctx) override {
+      EXPECT_TRUE(inbox.empty());  // nobody ever sends
+      if (++ticks < 5) ctx.wake_next_round();
+    }
+    int ticks = 0;
+  };
+  const GeneratedGraph gg = planar::path(5);
+  congest::Network net(gg.graph);
+  CountDown prog;
+  const int rounds = net.run(prog);
+  EXPECT_EQ(prog.ticks, 5);
+  EXPECT_LE(rounds, 6);
+  EXPECT_EQ(net.messages_sent(), 0);
+}
+
 TEST(Bfs, GridDepthsAndRounds) {
   const GeneratedGraph gg = planar::grid(5, 7);
   const BfsResult bfs = distributed_bfs(gg.graph, 0);

@@ -1,0 +1,168 @@
+// Property-based suite for Theorem 1: on hundreds of seeded random planar
+// instances (every generator family, adversarial mutations included), the
+// separator engine must mark a simple-cycle tree path whose removal leaves
+// components of ≤ 2/3 of the part — unweighted and weighted — without ever
+// reaching the last-resort fallback. Failures shrink to a one-line
+// `--seed=... --family=... --n=...` replay command.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "separator/engine.hpp"
+#include "shortcuts/partwise.hpp"
+#include "subroutines/components.hpp"
+#include "subroutines/part_context.hpp"
+#include "testing/proptest.hpp"
+
+namespace plansep::testing {
+namespace {
+
+using planar::Family;
+using planar::NodeId;
+
+// Whole-graph Theorem 1, unweighted + weighted, as a harness property.
+void separator_property(const Instance& inst, InvariantReport& rep) {
+  const auto& g = inst.gg.graph;
+  check_embedding(g, /*require_connected=*/true, rep);
+  if (!rep.ok()) return;
+  shortcuts::PartwiseEngine engine(g, inst.gg.root_hint);
+  std::vector<int> part(static_cast<std::size_t>(g.num_nodes()), 0);
+  sub::PartSet ps =
+      sub::build_part_set(g, part, 1, engine, {inst.gg.root_hint});
+  separator::SeparatorEngine se(engine);
+
+  const separator::SeparatorResult res = se.compute(ps);
+  check_cycle_separator(ps, 0, res.parts.at(0), rep);
+  if (res.stats.phase_counts[7] != 0) {
+    rep.fail("separator/last_resort: exhaustive fallback fired");
+  }
+
+  const separator::SeparatorResult wres = se.compute_weighted(ps, inst.weight);
+  check_weighted_separator(ps, 0, wres.parts.at(0), inst.weight, rep);
+  if (wres.stats.phase_counts[7] != 0) {
+    rep.fail("wseparator/last_resort: exhaustive fallback fired");
+  }
+}
+
+TEST(ProptestSeparator, TheoremOneHoldsOnRandomInstances) {
+  PropConfig cfg;
+  cfg.cases = 400;
+  cfg.min_n = 12;
+  cfg.max_n = 160;
+  cfg.mutation_probability = 0.5;
+  cfg.base_seed = 42;
+
+  std::set<Family> families_seen;
+  std::set<Mutation> mutations_seen;
+  const PropResult res = run_property(
+      "separator", cfg, [&](const Instance& inst, InvariantReport& rep) {
+        families_seen.insert(inst.spec.family);
+        mutations_seen.insert(inst.spec.mutation);
+        separator_property(inst, rep);
+      });
+  EXPECT_TRUE(res.ok()) << res.summary();
+  EXPECT_GE(res.cases_run, 200);
+  EXPECT_GE(families_seen.size(), 5u);
+  EXPECT_GE(mutations_seen.size(), 4u);  // incl. kNone
+}
+
+// Multi-part invocations (the shape arising inside the DFS recursion):
+// remove a BFS ball around the root, give every remaining component its own
+// part, and require Theorem 1 on each.
+TEST(ProptestSeparator, TheoremOneHoldsPerPart) {
+  PropConfig cfg;
+  cfg.cases = 60;
+  cfg.min_n = 24;
+  cfg.max_n = 120;
+  cfg.mutation_probability = 0.3;
+  cfg.base_seed = 1337;
+
+  const PropResult res = run_property(
+      "separator_parts", cfg, [](const Instance& inst, InvariantReport& rep) {
+        const auto& g = inst.gg.graph;
+        check_embedding(g, true, rep);
+        if (!rep.ok()) return;
+        shortcuts::PartwiseEngine engine(g, inst.gg.root_hint);
+        const auto& bfs = engine.global_tree();
+        const int radius = std::max(1, bfs.height / 3);
+        std::vector<int> part(static_cast<std::size_t>(g.num_nodes()), -1);
+        // Components outside the ball become the parts.
+        std::vector<char> outside(static_cast<std::size_t>(g.num_nodes()), 0);
+        for (NodeId v = 0; v < g.num_nodes(); ++v) {
+          outside[static_cast<std::size_t>(v)] =
+              bfs.depth[static_cast<std::size_t>(v)] > radius;
+        }
+        const sub::Components comps = sub::connected_components(
+            g, [&](NodeId v) { return outside[static_cast<std::size_t>(v)] != 0; });
+        if (comps.count == 0) return;  // ball swallowed the graph
+        for (NodeId v = 0; v < g.num_nodes(); ++v) {
+          part[static_cast<std::size_t>(v)] =
+              comps.label[static_cast<std::size_t>(v)];
+        }
+        sub::PartSet ps = sub::build_part_set(g, part, comps.count, engine);
+        separator::SeparatorEngine se(engine);
+        const separator::SeparatorResult res2 = se.compute(ps);
+        for (int p = 0; p < ps.num_parts; ++p) {
+          check_cycle_separator(ps, p, res2.parts.at(static_cast<std::size_t>(p)), rep);
+          if (!rep.ok()) return;
+        }
+        if (res2.stats.phase_counts[7] != 0) {
+          rep.fail("separator/last_resort: exhaustive fallback fired");
+        }
+      });
+  EXPECT_TRUE(res.ok()) << res.summary();
+  EXPECT_GE(res.cases_run, 60);
+}
+
+TEST(ProptestReplay, CommandRoundTrips) {
+  for (Family f : default_families()) {
+    for (Mutation m :
+         {Mutation::kNone, Mutation::kPendantTrees, Mutation::kSubdividedEdges,
+          Mutation::kDegenerateWeights, Mutation::kCombined}) {
+      const CaseSpec spec{f, 37, 0xdeadbeefULL, m};
+      const auto parsed = parse_replay(spec.replay());
+      ASSERT_TRUE(parsed.has_value()) << spec.replay();
+      EXPECT_EQ(parsed->family, spec.family);
+      EXPECT_EQ(parsed->n, spec.n);
+      EXPECT_EQ(parsed->seed, spec.seed);
+      EXPECT_EQ(parsed->mutation, spec.mutation);
+    }
+  }
+}
+
+TEST(ProptestReplay, RejectsMalformedCommands) {
+  EXPECT_FALSE(parse_replay("").has_value());
+  EXPECT_FALSE(parse_replay("--seed=1 --n=10").has_value());  // no family
+  EXPECT_FALSE(parse_replay("--seed=1 --family=nope --n=10").has_value());
+  EXPECT_FALSE(parse_replay("--seed=x --family=grid --n=10").has_value());
+  EXPECT_FALSE(
+      parse_replay("--seed=1 --family=grid --n=10 --bogus=1").has_value());
+  EXPECT_FALSE(
+      parse_replay("--seed=1 --family=grid --n=10 --mutation=?").has_value());
+}
+
+TEST(ProptestInstances, MutationsPreservePlanarityAndConnectivity) {
+  for (Family f : default_families()) {
+    for (Mutation m : {Mutation::kPendantTrees, Mutation::kSubdividedEdges,
+                       Mutation::kCombined}) {
+      for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+        const Instance inst = build_instance({f, 40, seed, m});
+        InvariantReport rep;
+        check_embedding(inst.gg.graph, true, rep);
+        EXPECT_TRUE(rep.ok())
+            << inst.spec.replay() << "\n"
+            << rep.to_string();
+        // Mutations only add nodes; the instance grows.
+        EXPECT_GE(inst.gg.graph.num_nodes(),
+                  planar::make_instance(f, 40, seed).graph.num_nodes());
+        EXPECT_EQ(static_cast<int>(inst.weight.size()),
+                  inst.gg.graph.num_nodes());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace plansep::testing
