@@ -1,22 +1,57 @@
 // E3 — Theorem 2: DFS trees in Õ(D) rounds, O(log n) outer phases.
 //
-// End-to-end DFS construction per family × size: rounds under both
-// accountings, outer phase count vs log2 n, and validity of the result.
+// Section 1: end-to-end DFS construction per family × size — rounds under
+// both accountings, outer phase count vs log2 n, validity of the result.
+//
+// Section 2: wall-clock of the message-level round engine, serial vs the
+// parallel executor (--threads=K), on large triangulation/grid instances.
+// The parallel run must be bit-identical (same rounds, same messages) —
+// checked here — so the speedup comes for free semantically.
+//
+// Emits BENCH_dfs_rounds.json (override with --json=PATH).
 
 #include <cstdio>
+#include <functional>
+#include <initializer_list>
 
 #include "bench_util.hpp"
+#include "shortcuts/partwise_message.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace plansep;
+
+struct EngineTiming {
+  int rounds = 0;
+  long long messages = 0;
+  double wall_ms = 0;
+};
+
+template <typename Fn>
+EngineTiming timed_run(const congest::ThreadConfig& cfg, const Fn& fn) {
+  congest::ScopedThreadConfig guard(cfg);
+  bench::WallTimer timer;
+  EngineTiming t = fn();
+  t.wall_ms = timer.ms();
+  return t;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace plansep;
   const bool quick = bench::quick_mode(argc, argv);
+  const int threads = bench::threads_arg(argc, argv, 4);
+  bench::BenchJson json("dfs_rounds");
 
   std::printf("E3: DFS construction rounds and phases (Theorem 2)\n\n");
   Table table({"family", "n", "D<=", "valid", "phases", "lg n", "measured",
                "charged", "chg/(D*lg^2 n)"});
   for (const auto& pt : bench::standard_sweep(quick)) {
     const auto gg = planar::make_instance(pt.family, pt.n, 1);
+    bench::WallTimer timer;
     const auto run = compute_dfs_tree(gg.graph, gg.root_hint);
+    const double wall_ms = timer.ms();
     const double d = std::max(1, run.diameter_bound);
     table.add(planar::family_name(pt.family), gg.graph.num_nodes(),
               run.diameter_bound, run.check.ok(), run.build.phases,
@@ -24,10 +59,96 @@ int main(int argc, char** argv) {
               run.build.cost.measured, run.build.cost.charged,
               static_cast<double>(run.build.cost.charged) /
                   (d * bench::polylog2(gg.graph.num_nodes())));
+    json.row()
+        .set("kind", "dfs_analytic")
+        .set("family", planar::family_name(pt.family))
+        .set("n", gg.graph.num_nodes())
+        .set("diameter_bound", run.diameter_bound)
+        .set("valid", run.check.ok())
+        .set("phases", run.build.phases)
+        .set("rounds_measured", run.build.cost.measured)
+        .set("rounds_charged", run.build.cost.charged)
+        .set("wall_ms", wall_ms)
+        .set("threads", 1);
   }
   table.print();
   std::printf(
       "\nPaper expectation: valid DFS everywhere, phases = O(log n),\n"
       "charged rounds = Otilde(D) (bounded last column).\n");
+
+  // ------------------------------------------------- parallel engine --
+  std::printf("\nParallel round engine: serial vs %d threads (wall clock)\n\n",
+              threads);
+  Table par_table({"workload", "family", "n", "rounds", "messages",
+                   "serial ms", "par ms", "speedup"});
+  const congest::ThreadConfig serial_cfg{1, 64};
+  const congest::ThreadConfig par_cfg{threads, 32};
+
+  std::vector<bench::SweepPoint> big = quick
+      ? std::vector<bench::SweepPoint>{{planar::Family::kTriangulation, 2000},
+                                       {planar::Family::kGrid, 2025}}
+      : std::vector<bench::SweepPoint>{{planar::Family::kTriangulation, 50000},
+                                       {planar::Family::kGrid, 50176},
+                                       {planar::Family::kGridDiagonals, 50176}};
+  for (const auto& pt : big) {
+    const auto gg = planar::make_instance(pt.family, pt.n, 1);
+    const auto& g = gg.graph;
+
+    // Workload A: the BFS wave (frontier-parallel rounds).
+    const auto run_bfs = [&] {
+      const congest::BfsResult bfs = congest::distributed_bfs(g, gg.root_hint);
+      return EngineTiming{bfs.rounds, bfs.messages, 0};
+    };
+    // Workload B: message-level part-wise aggregation over the BFS tree —
+    // every node active for many rounds, the heaviest per-round work the
+    // simulator runs.
+    const congest::BfsResult tree = congest::distributed_bfs(g, gg.root_hint);
+    std::vector<int> part(static_cast<std::size_t>(g.num_nodes()));
+    std::vector<std::int64_t> value(static_cast<std::size_t>(g.num_nodes()));
+    for (planar::NodeId v = 0; v < g.num_nodes(); ++v) {
+      part[static_cast<std::size_t>(v)] = v % 32;
+      value[static_cast<std::size_t>(v)] = (11 * v) % 257;
+    }
+    const auto run_agg = [&] {
+      const shortcuts::MessageAggregateResult res =
+          shortcuts::message_level_aggregate(g, tree, part, value,
+                                             shortcuts::AggOp::kSum);
+      return EngineTiming{res.rounds, res.messages, 0};
+    };
+
+    struct Workload {
+      const char* name;
+      const std::function<EngineTiming()> fn;
+    };
+    for (const auto& [name, fn] : std::initializer_list<Workload>{
+             {"bfs_wave", run_bfs}, {"aggregate", run_agg}}) {
+      const EngineTiming s = timed_run(serial_cfg, fn);
+      const EngineTiming p = timed_run(par_cfg, fn);
+      // Determinism: the parallel executor must match the serial engine on
+      // every observable count before its wall clock means anything.
+      PLANSEP_CHECK_MSG(s.rounds == p.rounds && s.messages == p.messages,
+                        "parallel run diverged from serial engine");
+      const double speedup = p.wall_ms > 0 ? s.wall_ms / p.wall_ms : 0;
+      par_table.add(name, planar::family_name(pt.family), g.num_nodes(),
+                    s.rounds, s.messages, s.wall_ms, p.wall_ms, speedup);
+      json.row()
+          .set("kind", "parallel_engine")
+          .set("workload", name)
+          .set("family", planar::family_name(pt.family))
+          .set("n", g.num_nodes())
+          .set("rounds", s.rounds)
+          .set("messages", s.messages)
+          .set("threads", threads)
+          .set("wall_ms_serial", s.wall_ms)
+          .set("wall_ms_parallel", p.wall_ms)
+          .set("speedup", speedup);
+    }
+  }
+  par_table.print();
+  std::printf(
+      "\nSerial and parallel runs are checked bit-identical on rounds and\n"
+      "message counts; speedup > 1 requires real cores (see nproc).\n");
+
+  json.write(bench::json_path_arg(argc, argv, "dfs_rounds"));
   return 0;
 }

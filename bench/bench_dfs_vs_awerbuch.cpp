@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
   using namespace plansep;
   const bool quick = bench::quick_mode(argc, argv);
+  bench::BenchJson json("dfs_vs_awerbuch");
 
   std::printf("E4: deterministic Otilde(D) DFS vs Awerbuch O(n) DFS\n\n");
   Table table({"family", "n", "D<=", "ours.charged", "ours.measured",
@@ -19,16 +20,33 @@ int main(int argc, char** argv) {
   std::vector<bench::SweepPoint> sweep = bench::standard_sweep(quick);
   for (const auto& pt : sweep) {
     const auto gg = planar::make_instance(pt.family, pt.n, 1);
+    bench::WallTimer ours_timer;
     const auto ours = compute_dfs_tree(gg.graph, gg.root_hint);
+    const double ours_ms = ours_timer.ms();
+    bench::WallTimer awb_timer;
     const auto awb = baselines::awerbuch_dfs(gg.graph, gg.root_hint);
+    const double awb_ms = awb_timer.ms();
     const double ratio = static_cast<double>(awb.rounds) /
                          static_cast<double>(ours.build.cost.charged);
     table.add(planar::family_name(pt.family), gg.graph.num_nodes(),
               ours.diameter_bound, ours.build.cost.charged,
               ours.build.cost.measured, awb.rounds, ratio,
               ratio > 1.0 ? "ours" : "awerbuch");
+    json.row()
+        .set("kind", "dfs_vs_awerbuch")
+        .set("family", planar::family_name(pt.family))
+        .set("n", gg.graph.num_nodes())
+        .set("diameter_bound", ours.diameter_bound)
+        .set("ours_rounds_charged", ours.build.cost.charged)
+        .set("ours_rounds_measured", ours.build.cost.measured)
+        .set("ours_wall_ms", ours_ms)
+        .set("awerbuch_rounds", awb.rounds)
+        .set("awerbuch_messages", awb.messages)
+        .set("awerbuch_wall_ms", awb_ms)
+        .set("rounds_ratio", ratio);
   }
   table.print();
+  json.write(bench::json_path_arg(argc, argv, "dfs_vs_awerbuch"));
   std::printf(
       "\nPaper expectation: ours wins whenever D << n/polylog (e.g.\n"
       "triangulations, D = O(log n)); Awerbuch wins when D = Theta(n).\n");

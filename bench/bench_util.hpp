@@ -1,12 +1,22 @@
 #pragma once
 
 // Shared helpers for the experiment binaries (bench/). Each binary
-// regenerates one experiment of EXPERIMENTS.md and prints a plain-text
-// table; `--quick` shrinks the sweep for smoke runs.
+// regenerates one experiment of EXPERIMENTS.md, prints a plain-text table,
+// and emits a machine-readable BENCH_<name>.json next to it so the perf
+// trajectory accumulates across commits. Flags understood by every binary
+// that uses these helpers:
+//   --quick        shrink the sweep for smoke runs
+//   --threads=K    round-engine shards for the parallel-engine sections
+//   --json=PATH    override the JSON output path ("" suppresses the file)
 
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/plansep.hpp"
@@ -21,10 +31,147 @@ inline bool quick_mode(int argc, char** argv) {
   return false;
 }
 
+/// Value of a "--key=value" flag, or nullptr when absent.
+inline const char* flag_value(int argc, char** argv, const char* key) {
+  const std::size_t klen = std::strlen(key);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0 &&
+        std::strncmp(argv[i] + 2, key, klen) == 0 && argv[i][2 + klen] == '=') {
+      return argv[i] + 2 + klen + 1;
+    }
+  }
+  return nullptr;
+}
+
+/// --threads=K (>= 1); falls back to the given default.
+inline int threads_arg(int argc, char** argv, int fallback = 4) {
+  if (const char* v = flag_value(argc, argv, "threads")) {
+    const int k = std::atoi(v);
+    if (k >= 1) return k;
+  }
+  return fallback;
+}
+
+/// --json=PATH; empty string = suppress. Default: BENCH_<name>.json in cwd.
+inline std::string json_path_arg(int argc, char** argv,
+                                 const std::string& bench_name) {
+  if (const char* v = flag_value(argc, argv, "json")) return v;
+  return "BENCH_" + bench_name + ".json";
+}
+
 inline double polylog2(int n) {
   const double l = std::log2(std::max(2, n));
   return l * l;
 }
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// ------------------------------------------------------------- JSON out --
+//
+// Flat row-oriented schema shared by every bench:
+//   {"bench": "<name>", "schema": 1, "rows": [{...}, ...]}
+// Rows keep insertion order; values are ints, doubles, bools or strings.
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  class Row {
+   public:
+    Row& set(const char* key, long long v) {
+      kv_.emplace_back(key, std::to_string(v));
+      return *this;
+    }
+    Row& set(const char* key, int v) { return set(key, static_cast<long long>(v)); }
+    Row& set(const char* key, double v) {
+      char buf[64];
+      if (std::isfinite(v)) {
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+      } else {
+        std::snprintf(buf, sizeof buf, "null");
+      }
+      kv_.emplace_back(key, buf);
+      return *this;
+    }
+    Row& set(const char* key, bool v) {
+      kv_.emplace_back(key, v ? "true" : "false");
+      return *this;
+    }
+    Row& set(const char* key, const std::string& v) {
+      kv_.emplace_back(key, quote(v));
+      return *this;
+    }
+    Row& set(const char* key, const char* v) { return set(key, std::string(v)); }
+
+   private:
+    friend class BenchJson;
+    static std::string quote(const std::string& s) {
+      std::string out = "\"";
+      for (const char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        if (c == '\n') {
+          out += "\\n";
+          continue;
+        }
+        out += c;
+      }
+      out += '"';
+      return out;
+    }
+    std::vector<std::pair<std::string, std::string>> kv_;
+  };
+
+  /// Appends a fresh row; chain .set(...) calls on the reference.
+  Row& row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  std::string render() const {
+    std::string out = "{\"bench\": " + Row::quote(name_) + ", \"schema\": 1";
+    out += ", \"rows\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out += r == 0 ? "\n" : ",\n";
+      out += "  {";
+      const auto& kv = rows_[r].kv_;
+      for (std::size_t i = 0; i < kv.size(); ++i) {
+        if (i) out += ", ";
+        out += Row::quote(kv[i].first) + ": " + kv[i].second;
+      }
+      out += "}";
+    }
+    out += "\n]}\n";
+    return out;
+  }
+
+  /// Writes render() to path (no-op on empty path); announces the file.
+  bool write(const std::string& path) const {
+    if (path.empty()) return true;
+    std::ofstream f(path);
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    f << render();
+    std::printf("\n[json] %zu row(s) -> %s\n", rows_.size(), path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Row> rows_;
+};
 
 struct SweepPoint {
   planar::Family family;

@@ -36,7 +36,8 @@ class BfsProgram : public NodeProgram {
       depth = static_cast<int>(first.msg.a) + 1;
       out_->parent_dart[static_cast<std::size_t>(v)] =
           g_->find_dart(v, first.from);
-      out_->height = std::max(out_->height, depth);
+      // height is folded from the depth array after the run: round() may
+      // only mutate per-node state (NodeProgram's concurrency contract).
       parent = first.from;
     }
     for (DartId d : g_->rotation(v)) {
@@ -64,6 +65,7 @@ BfsResult distributed_bfs(const EmbeddedGraph& g, NodeId root) {
   Network net(g);
   out.rounds = net.run(prog);
   out.messages = net.messages_sent();
+  for (const int d : out.depth) out.height = std::max(out.height, d);
   return out;
 }
 

@@ -1,51 +1,215 @@
 #include "congest/network.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 
+#include "congest/thread_pool.hpp"
 #include "util/check.hpp"
 
 namespace plansep::congest {
 
 namespace {
-TraceSink* g_trace_sink = nullptr;
+
+std::atomic<TraceSink*> g_trace_sink{nullptr};
+
+ThreadConfig read_env_config() {
+  ThreadConfig cfg;
+  if (const char* e = std::getenv("PLANSEP_THREADS")) {
+    const int v = std::atoi(e);
+    if (v >= 1) cfg.threads = std::min(v, 256);
+  }
+  if (const char* e = std::getenv("PLANSEP_PAR_THRESHOLD")) {
+    const int v = std::atoi(e);
+    if (v >= 0) cfg.min_active_to_parallelize = v;
+  }
+  return cfg;
+}
+
+// The process default; reads the environment once. Mutated only via
+// set_default_thread_config (tests, benches) — from one thread at a time.
+ThreadConfig& default_config_storage() {
+  static ThreadConfig cfg = read_env_config();
+  return cfg;
+}
+
 }  // namespace
 
 TraceSink* set_global_trace_sink(TraceSink* sink) {
-  TraceSink* prev = g_trace_sink;
-  g_trace_sink = sink;
+  return g_trace_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+TraceSink* global_trace_sink() {
+  return g_trace_sink.load(std::memory_order_acquire);
+}
+
+ThreadConfig set_default_thread_config(const ThreadConfig& cfg) {
+  PLANSEP_CHECK(cfg.threads >= 1 && cfg.min_active_to_parallelize >= 0);
+  ThreadConfig prev = default_config_storage();
+  default_config_storage() = cfg;
   return prev;
 }
 
-TraceSink* global_trace_sink() { return g_trace_sink; }
+ThreadConfig default_thread_config() { return default_config_storage(); }
 
 void Ctx::send(NodeId neighbor, const Message& msg) {
-  net_->do_send(self_, neighbor, msg, round_);
+  if (buf_) {
+    net_->do_send_staged(*buf_, self_, neighbor, msg, round_);
+  } else {
+    net_->do_send(self_, neighbor, msg, round_);
+  }
 }
 
 void Ctx::wake_next_round() {
+  if (buf_) {
+    // Deferred: applied on the coordinating thread at merge time. A turn
+    // may call this repeatedly; consecutive-duplicate suppression keeps the
+    // buffer small (cross-node dedup happens against woken_ at merge).
+    if (buf_->wakes.empty() || buf_->wakes.back() != self_) {
+      buf_->wakes.push_back(self_);
+    }
+    return;
+  }
   if (!net_->woken_[static_cast<std::size_t>(self_)]) {
     net_->woken_[static_cast<std::size_t>(self_)] = 1;
     net_->active_next_.push_back(self_);
   }
 }
 
-Network::Network(const EmbeddedGraph& g) : g_(&g) {
+Network::Network(const EmbeddedGraph& g) : g_(&g), cfg_(default_thread_config()) {
   inbox_.resize(static_cast<std::size_t>(g.num_nodes()));
   woken_.assign(static_cast<std::size_t>(g.num_nodes()), 0);
   sent_round_.assign(static_cast<std::size_t>(g.num_darts()), -1);
 }
 
-void Network::do_send(NodeId from, NodeId to, const Message& msg, int round) {
+void Network::set_threads(int k) {
+  PLANSEP_CHECK_MSG(k >= 1, "set_threads requires k >= 1");
+  cfg_.threads = std::min(k, 256);
+}
+
+void Network::set_min_active_to_parallelize(int min_active) {
+  PLANSEP_CHECK(min_active >= 0);
+  cfg_.min_active_to_parallelize = min_active;
+}
+
+// Bandwidth guard shared by the serial and parallel send paths (one
+// throw site, so both engines fault with the identical message). The guard
+// slot is keyed by the directed dart from→to, and `from` is owned by
+// exactly one shard per round, so the write is race-free under threads.
+DartId Network::checked_dart(NodeId from, NodeId to, int round) {
   const DartId d = g_->find_dart(from, to);
   PLANSEP_CHECK_MSG(d != planar::kNoDart, "message sent to a non-neighbor");
   PLANSEP_CHECK_MSG(sent_round_[static_cast<std::size_t>(d)] != round,
                     "CONGEST bandwidth exceeded: two messages on one edge");
   sent_round_[static_cast<std::size_t>(d)] = round;
+  return d;
+}
+
+void Network::do_send(NodeId from, NodeId to, const Message& msg, int round) {
+  checked_dart(from, to, round);
   ++messages_sent_;
   if (active_sink_) active_sink_->on_send(round, from, to, msg);
   // Staged for delivery after every node has taken its turn this round —
   // synchronous semantics: messages sent in round r are readable in r+1.
   staged_.push_back({to, Incoming{from, msg}});
+}
+
+void Network::do_send_staged(detail::ShardBuf& buf, NodeId from, NodeId to,
+                             const Message& msg, int round) {
+  // Sink notification and the messages_sent_ counter are deferred to the
+  // deterministic merge on the coordinating thread.
+  checked_dart(from, to, round);
+  buf.sends.push_back({to, Incoming{from, msg}});
+}
+
+// Executes one round's turns sharded over the pool and merges the staged
+// effects in serial execution order; returns the number of messages
+// delivered. active_next_/woken_/inbox_ are updated exactly as the serial
+// loop would. Rethrows the earliest turn's exception (later shards'
+// staged effects are discarded — serial would never have reached them).
+long long Network::run_round_parallel(NodeProgram& prog, int round,
+                                      const std::vector<NodeId>& active,
+                                      int shards) {
+  if (static_cast<int>(shard_bufs_.size()) < shards) {
+    shard_bufs_.resize(static_cast<std::size_t>(shards));
+  }
+  for (int s = 0; s < shards; ++s) {
+    shard_bufs_[static_cast<std::size_t>(s)].reset();
+  }
+  const std::size_t n_active = active.size();
+  ThreadPool::instance().run_shards(shards, [&](int s) {
+    // Contiguous slices of `active` preserve the serial execution order;
+    // concatenating shard buffers 0..k-1 reproduces it exactly.
+    const std::size_t lo = n_active * static_cast<std::size_t>(s) /
+                           static_cast<std::size_t>(shards);
+    const std::size_t hi = n_active * (static_cast<std::size_t>(s) + 1) /
+                           static_cast<std::size_t>(shards);
+    detail::ShardBuf& buf = shard_bufs_[static_cast<std::size_t>(s)];
+    Ctx ctx;
+    ctx.net_ = this;
+    ctx.buf_ = &buf;
+    ctx.round_ = round;
+    std::vector<Incoming> mail;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const NodeId v = active[i];
+      mail.clear();
+      mail.swap(inbox_[static_cast<std::size_t>(v)]);
+      ctx.self_ = v;
+      try {
+        prog.round(v, mail, ctx);
+      } catch (...) {
+        buf.error = std::current_exception();
+        buf.error_turn = i;
+        break;  // the serial engine would abort the run at this turn
+      }
+    }
+  });
+
+  // Shards own increasing turn ranges, so the first shard with an error
+  // holds the earliest turn the serial engine would have faulted at.
+  int stop = shards;
+  for (int s = 0; s < shards; ++s) {
+    if (shard_bufs_[static_cast<std::size_t>(s)].error) {
+      stop = s;
+      break;
+    }
+  }
+  // Replay sink notifications in merged (= serial) order. On error, replay
+  // up to and including the faulting shard's accepted sends — exactly the
+  // prefix the serial engine would have emitted — then rethrow.
+  const int replay_shards = stop < shards ? stop + 1 : shards;
+  for (int s = 0; s < replay_shards; ++s) {
+    for (const auto& [to, inc] : shard_bufs_[static_cast<std::size_t>(s)].sends) {
+      ++messages_sent_;
+      if (active_sink_) active_sink_->on_send(round, inc.from, to, inc.msg);
+    }
+  }
+  if (stop < shards) {
+    std::rethrow_exception(shard_bufs_[static_cast<std::size_t>(stop)].error);
+  }
+  // Wake-ups activate before deliveries, mirroring the serial push order
+  // (wakes happen during turns, deliveries after all turns).
+  for (int s = 0; s < shards; ++s) {
+    for (const NodeId v : shard_bufs_[static_cast<std::size_t>(s)].wakes) {
+      if (!woken_[static_cast<std::size_t>(v)]) {
+        woken_[static_cast<std::size_t>(v)] = 1;
+        active_next_.push_back(v);
+      }
+    }
+  }
+  long long delivered = 0;
+  for (int s = 0; s < shards; ++s) {
+    for (const auto& [to, inc] : shard_bufs_[static_cast<std::size_t>(s)].sends) {
+      auto& box = inbox_[static_cast<std::size_t>(to)];
+      if (box.empty() && !woken_[static_cast<std::size_t>(to)]) {
+        woken_[static_cast<std::size_t>(to)] = 1;
+        active_next_.push_back(to);
+      }
+      box.push_back(inc);
+      ++delivered;
+    }
+  }
+  return delivered;
 }
 
 int Network::run(NodeProgram& prog, int max_rounds) {
@@ -55,7 +219,7 @@ int Network::run(NodeProgram& prog, int max_rounds) {
   active_next_.clear();
   staged_.clear();
   messages_sent_ = 0;
-  active_sink_ = sink_ ? sink_ : g_trace_sink;
+  active_sink_ = sink_ ? sink_ : global_trace_sink();
   if (active_sink_) active_sink_->on_run_begin(*g_);
 
   std::vector<NodeId> active = prog.initial_nodes(*g_);
@@ -68,29 +232,38 @@ int Network::run(NodeProgram& prog, int max_rounds) {
   int round = 0;
   while (!active.empty() && round < max_rounds) {
     active_next_.clear();
-    staged_.clear();
-    for (NodeId v : active) {
-      auto& box = inbox_[static_cast<std::size_t>(v)];
-      std::vector<Incoming> mail;
-      mail.swap(box);
-      ctx.self_ = v;
-      ctx.round_ = round;
-      prog.round(v, mail, ctx);
-    }
-    // Deliver staged messages; recipients become active next round.
-    for (auto& [to, inc] : staged_) {
-      auto& box = inbox_[static_cast<std::size_t>(to)];
-      if (box.empty() && !woken_[static_cast<std::size_t>(to)]) {
-        woken_[static_cast<std::size_t>(to)] = 1;
-        active_next_.push_back(to);
+    const int shards =
+        std::min<int>(cfg_.threads, static_cast<int>(active.size()));
+    long long delivered = 0;
+    if (shards > 1 && static_cast<int>(active.size()) >=
+                          cfg_.min_active_to_parallelize) {
+      delivered = run_round_parallel(prog, round, active, shards);
+    } else {
+      staged_.clear();
+      for (NodeId v : active) {
+        auto& box = inbox_[static_cast<std::size_t>(v)];
+        std::vector<Incoming> mail;
+        mail.swap(box);
+        ctx.self_ = v;
+        ctx.round_ = round;
+        prog.round(v, mail, ctx);
       }
-      box.push_back(inc);
+      // Deliver staged messages; recipients become active next round.
+      for (auto& [to, inc] : staged_) {
+        auto& box = inbox_[static_cast<std::size_t>(to)];
+        if (box.empty() && !woken_[static_cast<std::size_t>(to)]) {
+          woken_[static_cast<std::size_t>(to)] = 1;
+          active_next_.push_back(to);
+        }
+        box.push_back(inc);
+      }
+      delivered = static_cast<long long>(staged_.size());
     }
     active = active_next_;
     for (NodeId v : active) woken_[static_cast<std::size_t>(v)] = 0;
     if (active_sink_) {
       active_sink_->on_round_end(round, static_cast<int>(active.size()),
-                                 static_cast<long long>(staged_.size()));
+                                 delivered);
     }
     ++round;
   }

@@ -12,8 +12,16 @@
 // has incoming messages or explicitly requested a wake-up, so quiescent
 // regions cost nothing. The network stops at global quiescence (no
 // messages in flight, no wake-ups) or after max_rounds.
+//
+// Rounds with many active nodes can execute in parallel (set_threads /
+// PLANSEP_THREADS): active nodes are sharded over a reusable thread pool,
+// outgoing messages are staged in per-shard buffers and merged in the
+// serial execution order, so a k-thread run is bit-identical to the serial
+// engine — same traces, same costs, same exceptions (DESIGN.md §7).
 
 #include <cstdint>
+#include <exception>
+#include <utility>
 #include <vector>
 
 #include "planar/embedded_graph.hpp"
@@ -38,10 +46,32 @@ struct Incoming {
 
 class Network;
 
+namespace detail {
+/// Per-shard staging area of one parallel round: outgoing messages and
+/// wake-ups in the shard's execution order, plus the first exception the
+/// shard hit (and the global turn index it occurred at). Pooled on the
+/// Network — cleared, never reallocated, between rounds.
+struct ShardBuf {
+  std::vector<std::pair<NodeId, Incoming>> sends;
+  std::vector<NodeId> wakes;
+  std::exception_ptr error;
+  std::size_t error_turn = 0;
+  void reset() {
+    sends.clear();
+    wakes.clear();
+    error = nullptr;
+    error_turn = 0;
+  }
+};
+}  // namespace detail
+
 /// Observer of message-level execution (opt-in; the proptest harness's
 /// trace recorder in src/testing/trace.hpp is the canonical sink). Hooks
 /// fire synchronously inside Network::run; sinks must not mutate the
-/// network.
+/// network. All callbacks are issued from the thread driving run() — the
+/// parallel executor defers per-shard events and replays them on the
+/// coordinating thread in deterministic order — so a sink needs no
+/// internal locking as long as it observes a single network at a time.
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -59,9 +89,43 @@ class TraceSink {
 
 /// Installs a process-wide sink that every Network picks up at run() time
 /// unless it has its own (set_trace_sink). Returns the previous sink; pass
-/// nullptr to detach. The simulator is single-threaded, and so is this.
+/// nullptr to detach. The pointer is published atomically, so installing or
+/// detaching a sink is safe even while other threads construct or run
+/// networks; callbacks themselves are sequenced by each run() as documented
+/// on TraceSink.
 TraceSink* set_global_trace_sink(TraceSink* sink);
 TraceSink* global_trace_sink();
+
+/// Round-execution parallelism knobs.
+struct ThreadConfig {
+  /// Worker shards per round; 1 = the serial engine.
+  int threads = 1;
+  /// Rounds with fewer active nodes than this run serially even when
+  /// threads > 1 (identical results either way; purely a latency knob —
+  /// sharding a near-empty round costs more than it saves).
+  int min_active_to_parallelize = 64;
+};
+
+/// Process-wide default every Network adopts at construction. Initialized
+/// once from the environment: PLANSEP_THREADS (shards) and
+/// PLANSEP_PAR_THRESHOLD (min active nodes). Returns the previous config.
+ThreadConfig set_default_thread_config(const ThreadConfig& cfg);
+ThreadConfig default_thread_config();
+
+/// RAII override of the process default — the way tests force pipelines
+/// whose networks are constructed internally onto the parallel (or serial)
+/// path. Restores the previous default on destruction.
+class ScopedThreadConfig {
+ public:
+  explicit ScopedThreadConfig(const ThreadConfig& cfg)
+      : prev_(set_default_thread_config(cfg)) {}
+  ~ScopedThreadConfig() { set_default_thread_config(prev_); }
+  ScopedThreadConfig(const ScopedThreadConfig&) = delete;
+  ScopedThreadConfig& operator=(const ScopedThreadConfig&) = delete;
+
+ private:
+  ThreadConfig prev_;
+};
 
 /// Per-node send/wake interface handed to NodeProgram::round.
 class Ctx {
@@ -80,6 +144,7 @@ class Ctx {
  private:
   friend class Network;
   Network* net_ = nullptr;
+  detail::ShardBuf* buf_ = nullptr;  // non-null on the parallel path
   NodeId self_ = planar::kNoNode;
   int round_ = 0;
 };
@@ -88,10 +153,18 @@ class NodeProgram {
  public:
   virtual ~NodeProgram() = default;
 
-  /// Nodes that must act in round 0 (e.g. the BFS root).
+  /// Nodes that must act in round 0 (e.g. the BFS root). Runs on the
+  /// coordinating thread; whole-program state is set up here.
   virtual std::vector<NodeId> initial_nodes(const EmbeddedGraph& g) = 0;
 
   /// Invoked for every node that has mail or requested a wake-up.
+  ///
+  /// Concurrency contract: round(v, ...) may read shared immutable state
+  /// (the graph, config) but must only *mutate* state keyed by v — the
+  /// node's own slots of per-node arrays/maps. Distinct nodes' handlers run
+  /// concurrently when the network executes with threads > 1; the CONGEST
+  /// model itself demands this locality (nodes share no memory), so a
+  /// conforming protocol satisfies it for free.
   virtual void round(NodeId v, const std::vector<Incoming>& inbox,
                      Ctx& ctx) = 0;
 };
@@ -109,19 +182,34 @@ class Network {
   /// Instance-level trace sink; overrides the global one. nullptr detaches.
   void set_trace_sink(TraceSink* sink) { sink_ = sink; }
 
+  /// Shards rounds over k threads (k >= 1; 1 = serial engine). Runs are
+  /// bit-identical for every k. The construction-time default comes from
+  /// default_thread_config().
+  void set_threads(int k);
+  int threads() const { return cfg_.threads; }
+  /// Minimum active nodes for a round to go parallel (see ThreadConfig).
+  void set_min_active_to_parallelize(int min_active);
+
  private:
   friend class Ctx;
+  DartId checked_dart(NodeId from, NodeId to, int round);
   void do_send(NodeId from, NodeId to, const Message& msg, int round);
+  void do_send_staged(detail::ShardBuf& buf, NodeId from, NodeId to,
+                      const Message& msg, int round);
+  long long run_round_parallel(NodeProgram& prog, int round,
+                               const std::vector<NodeId>& active, int shards);
 
   const EmbeddedGraph* g_;
   TraceSink* sink_ = nullptr;
   TraceSink* active_sink_ = nullptr;  // resolved at run() entry
+  ThreadConfig cfg_;
   long long messages_sent_ = 0;
   // Per-round delivery state.
   std::vector<std::vector<Incoming>> inbox_;
   std::vector<char> woken_;
   std::vector<NodeId> active_next_;
   std::vector<std::pair<NodeId, Incoming>> staged_;
+  std::vector<detail::ShardBuf> shard_bufs_;  // pooled parallel staging
   // Per (from -> to) sent-this-round guard, keyed by dart id.
   std::vector<int> sent_round_;
 };

@@ -1,0 +1,75 @@
+#include "congest/thread_pool.hpp"
+
+#include "util/check.hpp"
+
+namespace plansep::congest {
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::ensure_workers(int count) {
+  while (static_cast<int>(workers_.size()) < count) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_start_.wait(lk, [this] {
+      return stopping_ || (task_ != nullptr && next_shard_ < shards_);
+    });
+    if (stopping_) return;
+    const int shard = next_shard_++;
+    const auto* fn = task_;
+    lk.unlock();
+    (*fn)(shard);
+    lk.lock();
+    if (--pending_ == 0) {
+      task_ = nullptr;
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_shards(int shards, const std::function<void(int)>& fn) {
+  PLANSEP_CHECK(shards >= 1);
+  if (shards == 1) {
+    fn(0);
+    return;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  PLANSEP_CHECK_MSG(task_ == nullptr,
+                    "ThreadPool::run_shards is not reentrant");
+  ensure_workers(shards - 1);
+  task_ = &fn;
+  shards_ = shards;
+  next_shard_ = 0;
+  pending_ = shards;
+  cv_start_.notify_all();
+  // The calling thread takes shards too instead of idling at the barrier.
+  while (next_shard_ < shards_) {
+    const int shard = next_shard_++;
+    lk.unlock();
+    fn(shard);
+    lk.lock();
+    if (--pending_ == 0) {
+      task_ = nullptr;
+      cv_done_.notify_all();
+    }
+  }
+  cv_done_.wait(lk, [this] { return pending_ == 0; });
+}
+
+}  // namespace plansep::congest

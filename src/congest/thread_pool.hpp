@@ -1,0 +1,52 @@
+#pragma once
+
+// Reusable worker pool for the parallel round executor (network.cpp).
+//
+// One process-wide pool, created lazily on the first parallel run and
+// reused for every subsequent round, so a simulation pays thread start-up
+// once, not per round. run_shards hands out shard indices 0..shards-1 to
+// the workers plus the calling thread and blocks until every shard has
+// finished — a full barrier, which is exactly the synchronous-round
+// semantics the CONGEST simulator needs.
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace plansep::congest {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool. Workers are spawned on demand (up to the
+  /// largest shard count ever requested) and joined at process exit.
+  static ThreadPool& instance();
+
+  /// Runs fn(shard) for every shard in [0, shards); the calling thread
+  /// participates, so `shards` may exceed the worker count. Blocks until
+  /// all shards completed. fn must not throw — callers stash exceptions in
+  /// their shard state and rethrow after the barrier (network.cpp does).
+  void run_shards(int shards, const std::function<void(int)>& fn);
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  ThreadPool() = default;
+  void ensure_workers(int count);  // callers hold mu_
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> workers_;
+  const std::function<void(int)>* task_ = nullptr;
+  int next_shard_ = 0;
+  int shards_ = 0;
+  int pending_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace plansep::congest

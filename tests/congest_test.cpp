@@ -1,17 +1,21 @@
-// Tests for the CONGEST simulator, distributed BFS, and the part-wise
-// aggregation engine (values, round costs, bandwidth discipline).
+// Tests for the CONGEST simulator, distributed BFS, the part-wise
+// aggregation engine (values, round costs, bandwidth discipline), and the
+// parallel round executor's serial-equivalence guarantees.
 
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <string>
 
 #include "congest/bfs_tree.hpp"
 #include "congest/network.hpp"
 #include "planar/generators.hpp"
 #include "shortcuts/partwise.hpp"
+#include "shortcuts/partwise_message.hpp"
 #include "subroutines/components.hpp"
 #include "subroutines/part_context.hpp"
 #include "subroutines/spanning_forest.hpp"
+#include "testing/trace.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -22,6 +26,10 @@ using congest::BfsResult;
 using congest::distributed_bfs;
 using planar::GeneratedGraph;
 using planar::NodeId;
+
+// Forces every round of every network constructed in the scope onto the
+// parallel path (k shards, no active-size threshold).
+congest::ThreadConfig parallel_cfg(int k) { return {k, 0}; }
 
 TEST(Network, BandwidthViolationThrows) {
   // A program that sends two messages over one edge in a round must trip
@@ -111,6 +119,181 @@ TEST(Bfs, DiameterEstimateOnPath) {
   const GeneratedGraph gg = planar::path(40);
   const auto est = congest::estimate_diameter(gg.graph, 20);
   EXPECT_EQ(est.diameter_lb, 39);
+}
+
+TEST(ParallelNetwork, BfsTraceBitIdenticalToSerial) {
+  // The tentpole guarantee: a k-thread run produces the very same message
+  // stream — order included — as the serial engine, for every k.
+  for (planar::Family f :
+       {planar::Family::kGrid, planar::Family::kTriangulation,
+        planar::Family::kCylinder}) {
+    const GeneratedGraph gg = planar::make_instance(f, 120, 5);
+    auto capture = [&](const congest::ThreadConfig& cfg) {
+      congest::ScopedThreadConfig guard(cfg);
+      plansep::testing::TraceRecorder rec;
+      plansep::testing::ScopedTraceCapture cap(rec);
+      const BfsResult bfs = distributed_bfs(gg.graph, gg.root_hint);
+      EXPECT_GT(bfs.height, 0);
+      return std::make_pair(rec.events(), bfs);
+    };
+    const auto [serial, s_bfs] = capture({1, 64});
+    for (int k : {2, 3, 4, 7}) {
+      const auto [par, p_bfs] = capture(parallel_cfg(k));
+      EXPECT_EQ(plansep::testing::first_divergence(serial, par), -1)
+          << planar::family_name(f) << " k=" << k << "\n"
+          << plansep::testing::diff_traces(serial, par);
+      EXPECT_EQ(s_bfs.depth, p_bfs.depth) << planar::family_name(f);
+      EXPECT_EQ(s_bfs.height, p_bfs.height);
+      EXPECT_EQ(s_bfs.rounds, p_bfs.rounds);
+      EXPECT_EQ(s_bfs.messages, p_bfs.messages);
+    }
+  }
+}
+
+TEST(ParallelNetwork, AggregationTraceBitIdenticalToSerial) {
+  // The heaviest round handler (part-wise aggregation) under every shard
+  // count: values and traces must match the serial engine exactly.
+  const GeneratedGraph gg =
+      planar::make_instance(planar::Family::kTriangulation, 90, 11);
+  const BfsResult tree = distributed_bfs(gg.graph, gg.root_hint);
+  std::vector<int> part(gg.graph.num_nodes());
+  std::vector<std::int64_t> value(gg.graph.num_nodes());
+  for (NodeId v = 0; v < gg.graph.num_nodes(); ++v) {
+    part[v] = v % 5;
+    value[v] = (13 * v) % 41;
+  }
+  auto capture = [&](const congest::ThreadConfig& cfg) {
+    congest::ScopedThreadConfig guard(cfg);
+    plansep::testing::TraceRecorder rec;
+    plansep::testing::ScopedTraceCapture cap(rec);
+    const auto res = shortcuts::message_level_aggregate(
+        gg.graph, tree, part, value, shortcuts::AggOp::kSum);
+    return std::make_pair(rec.events(), res);
+  };
+  const auto [serial, s_res] = capture({1, 64});
+  for (int k : {2, 4}) {
+    const auto [par, p_res] = capture(parallel_cfg(k));
+    EXPECT_EQ(plansep::testing::first_divergence(serial, par), -1)
+        << "k=" << k << "\n" << plansep::testing::diff_traces(serial, par);
+    EXPECT_EQ(s_res.value, p_res.value);
+    EXPECT_EQ(s_res.rounds, p_res.rounds);
+    EXPECT_EQ(s_res.messages, p_res.messages);
+  }
+}
+
+TEST(ParallelNetwork, BandwidthViolationThrowsExactlyOnceUnderThreads) {
+  // Regression for the CONGEST guard on the parallel path: a duplicate
+  // send over one edge must surface as exactly one CheckError with the
+  // same message the serial engine produces, even when other shards are
+  // mid-round, and the network must stay usable afterwards.
+  class Bad : public congest::NodeProgram {
+   public:
+    std::vector<NodeId> initial_nodes(const planar::EmbeddedGraph& g) override {
+      std::vector<NodeId> all(static_cast<std::size_t>(g.num_nodes()));
+      for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+      return all;  // every node active, so every shard has work
+    }
+    void round(NodeId v, const std::vector<congest::Incoming>&,
+               congest::Ctx& ctx) override {
+      congest::Message m;
+      if (v == 7) {  // one offender mid-active-set
+        ctx.send(8, m);
+        ctx.send(8, m);
+      }
+    }
+  };
+  const GeneratedGraph gg = planar::path(16);
+  auto error_of = [&](const congest::ThreadConfig& cfg) {
+    congest::ScopedThreadConfig guard(cfg);
+    congest::Network net(gg.graph);
+    Bad bad;
+    int caught = 0;
+    std::string what;
+    try {
+      net.run(bad, 4);
+    } catch (const CheckError& e) {
+      ++caught;
+      what = e.what();
+    }
+    EXPECT_EQ(caught, 1);
+    EXPECT_NE(what.find("CONGEST bandwidth exceeded"), std::string::npos);
+    // The failed run must not poison the next one.
+    class Quiet : public congest::NodeProgram {
+     public:
+      std::vector<NodeId> initial_nodes(const planar::EmbeddedGraph&) override {
+        return {0};
+      }
+      void round(NodeId v, const std::vector<congest::Incoming>&,
+                 congest::Ctx& ctx) override {
+        if (v != 0) return;  // recipients just absorb the message
+        congest::Message m;
+        ctx.send(1, m);
+      }
+    };
+    Quiet quiet;
+    EXPECT_GE(net.run(quiet), 1);
+    return what;
+  };
+  const std::string serial_what = error_of({1, 64});
+  for (int k : {2, 4}) {
+    EXPECT_EQ(error_of(parallel_cfg(k)), serial_what) << "k=" << k;
+  }
+}
+
+TEST(ParallelNetwork, QuiescenceAndMaxRoundsMatchSerial) {
+  // Wake-up-driven control flow (no messages at all) under the parallel
+  // executor: same round counts at quiescence and at the max_rounds cap.
+  class CountDown : public congest::NodeProgram {
+   public:
+    std::vector<NodeId> initial_nodes(const planar::EmbeddedGraph& g) override {
+      ticks.assign(static_cast<std::size_t>(g.num_nodes()), 0);
+      std::vector<NodeId> all(static_cast<std::size_t>(g.num_nodes()));
+      for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+      return all;
+    }
+    void round(NodeId v, const std::vector<congest::Incoming>&,
+               congest::Ctx& ctx) override {
+      if (++ticks[v] < 4 + v % 3) ctx.wake_next_round();
+    }
+    std::vector<int> ticks;
+  };
+  const GeneratedGraph gg = planar::path(24);
+  auto rounds_of = [&](const congest::ThreadConfig& cfg, int max_rounds) {
+    congest::ScopedThreadConfig guard(cfg);
+    congest::Network net(gg.graph);
+    CountDown prog;
+    const int r = net.run(prog, max_rounds);
+    EXPECT_EQ(net.messages_sent(), 0);
+    return r;
+  };
+  const int serial_quiesce = rounds_of({1, 64}, 1 << 20);
+  const int serial_capped = rounds_of({1, 64}, 3);
+  EXPECT_EQ(serial_capped, 3);
+  for (int k : {2, 4}) {
+    EXPECT_EQ(rounds_of(parallel_cfg(k), 1 << 20), serial_quiesce);
+    EXPECT_EQ(rounds_of(parallel_cfg(k), 3), serial_capped);
+  }
+}
+
+TEST(ParallelNetwork, ConfigKnobs) {
+  const GeneratedGraph gg = planar::path(4);
+  congest::Network net(gg.graph);
+  net.set_threads(8);
+  EXPECT_EQ(net.threads(), 8);
+  net.set_threads(1);
+  EXPECT_EQ(net.threads(), 1);
+  EXPECT_THROW(net.set_threads(0), CheckError);
+  // Scoped default: networks constructed inside adopt it; the previous
+  // default returns on scope exit.
+  const congest::ThreadConfig before = congest::default_thread_config();
+  {
+    congest::ScopedThreadConfig guard({5, 9});
+    EXPECT_EQ(congest::default_thread_config().threads, 5);
+    EXPECT_EQ(congest::default_thread_config().min_active_to_parallelize, 9);
+    congest::Network inner(gg.graph);
+    EXPECT_EQ(inner.threads(), 5);
+  }
+  EXPECT_EQ(congest::default_thread_config().threads, before.threads);
 }
 
 TEST(Partwise, ValuesMatchPerPartReference) {
