@@ -10,7 +10,9 @@
 
 int main(int argc, char** argv) {
   using namespace plansep;
+  bench::ObsSession obs(argc, argv);
   const bool quick = bench::quick_mode(argc, argv);
+  bench::BenchJson json("ablation");
   const int seeds = quick ? 1 : 4;
   const int n = quick ? 150 : 800;
 
@@ -29,8 +31,17 @@ int main(int argc, char** argv) {
     if (parts == 0) continue;
     table.add(planar::family_name(f), parts, tried,
               static_cast<double>(tried) / parts, 100.0 * first / parts);
+    json.row()
+        .set("kind", "verification_ablation")
+        .set("family", planar::family_name(f))
+        .set("n", n)
+        .set("parts", parts)
+        .set("candidates_tried", tried)
+        .set("candidates_per_part", static_cast<double>(tried) / parts)
+        .set("first_hit_pct", 100.0 * first / parts);
   }
   table.print();
+  json.write(bench::json_path_arg(argc, argv, "ablation"));
   std::printf(
       "\nExpectation: cand/part close to 1 — the paper's phase analysis\n"
       "nearly always nails the first candidate; the verification is cheap\n"

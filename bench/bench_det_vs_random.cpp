@@ -10,7 +10,9 @@
 
 int main(int argc, char** argv) {
   using namespace plansep;
+  bench::ObsSession obs(argc, argv);
   const bool quick = bench::quick_mode(argc, argv);
+  bench::BenchJson json("det_vs_random");
   const int seeds = quick ? 3 : 10;
   const int n = quick ? 200 : 1500;
 
@@ -44,9 +46,20 @@ int main(int argc, char** argv) {
       table.add(planar::family_name(f), rate, att.mean,
                 100.0 * retries / seeds, 100.0 * fallbacks / seeds, bal.mean,
                 bal.max);
+      json.row()
+          .set("kind", "det_vs_random")
+          .set("family", planar::family_name(f))
+          .set("n", n)
+          .set("sample_rate", rate)
+          .set("attempts_mean", att.mean)
+          .set("retry_pct", 100.0 * retries / seeds)
+          .set("fallback_pct", 100.0 * fallbacks / seeds)
+          .set("balance_mean", bal.mean)
+          .set("balance_max", bal.max);
     }
   }
   table.print();
+  json.write(bench::json_path_arg(argc, argv, "det_vs_random"));
   std::printf(
       "\nExpectation: with sample = 1.0 the estimate is exact (one attempt,\n"
       "no retries); small samples need retries or the deterministic\n"

@@ -40,6 +40,7 @@ EngineTiming timed_run(const congest::ThreadConfig& cfg, const Fn& fn) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::ObsSession obs(argc, argv);
   const bool quick = bench::quick_mode(argc, argv);
   const int threads = bench::threads_arg(argc, argv, 4);
   bench::BenchJson json("dfs_rounds");

@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace plansep;
+  bench::ObsSession obs(argc, argv);
   const bool quick = bench::quick_mode(argc, argv);
   bench::BenchJson json("dfs_vs_awerbuch");
 

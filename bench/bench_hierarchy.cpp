@@ -9,7 +9,9 @@
 
 int main(int argc, char** argv) {
   using namespace plansep;
+  bench::ObsSession obs(argc, argv);
   const bool quick = bench::quick_mode(argc, argv);
+  bench::BenchJson json("hierarchy");
   const int n = quick ? 300 : 3000;
 
   std::printf("E11: separator hierarchy vs leaf size (n=%d)\n\n", n);
@@ -29,9 +31,20 @@ int main(int argc, char** argv) {
                 leaves,
                 100.0 * h.separator_nodes / gg.graph.num_nodes(),
                 h.cost.charged);
+      json.row()
+          .set("kind", "hierarchy")
+          .set("family", planar::family_name(f))
+          .set("n", gg.graph.num_nodes())
+          .set("leaf_size", leaf)
+          .set("levels", h.levels)
+          .set("pieces", leaves)
+          .set("separator_pct",
+               100.0 * h.separator_nodes / gg.graph.num_nodes())
+          .set("rounds_charged", h.cost.charged);
     }
   }
   table.print();
+  json.write(bench::json_path_arg(argc, argv, "hierarchy"));
   std::printf(
       "\nExpectation: levels track log(n/leaf) (2/3 shrinkage per level);\n"
       "smaller leaves spend more nodes on separators — the classic\n"

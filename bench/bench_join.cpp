@@ -8,7 +8,9 @@
 
 int main(int argc, char** argv) {
   using namespace plansep;
+  bench::ObsSession obs(argc, argv);
   const bool quick = bench::quick_mode(argc, argv);
+  bench::BenchJson json("join");
 
   std::printf("E6: JOIN-PROBLEM iterations and rounds (Lemma 2)\n\n");
   Table table({"family", "n", "D<=", "sep.size", "iters", "lg n", "added",
@@ -37,8 +39,19 @@ int main(int argc, char** argv) {
               engine.diameter_bound(), sep_size, jr.iterations,
               std::log2(std::max(2, g.num_nodes())), jr.nodes_added,
               jr.cost.measured, jr.cost.charged);
+    json.row()
+        .set("kind", "join")
+        .set("family", planar::family_name(pt.family))
+        .set("n", g.num_nodes())
+        .set("diameter_bound", engine.diameter_bound())
+        .set("separator_size", sep_size)
+        .set("iterations", jr.iterations)
+        .set("nodes_added", jr.nodes_added)
+        .set("rounds_measured", jr.cost.measured)
+        .set("rounds_charged", jr.cost.charged);
   }
   table.print();
+  json.write(bench::json_path_arg(argc, argv, "join"));
   std::printf(
       "\nPaper expectation: iters = O(log n) (at least half of the\n"
       "remaining separator is absorbed per iteration).\n");

@@ -11,7 +11,9 @@
 
 int main(int argc, char** argv) {
   using namespace plansep;
+  bench::ObsSession obs(argc, argv);
   const bool quick = bench::quick_mode(argc, argv);
+  bench::BenchJson json("lt");
   const int n = quick ? 200 : 2000;
 
   std::printf("E13: cycle separators vs BFS-level separators (n=%d)\n\n", n);
@@ -25,8 +27,19 @@ int main(int argc, char** argv) {
               static_cast<int>(cyc.separator.path.size()), cyc.check.balance,
               lvl.found, static_cast<int>(lvl.separator.size()),
               lvl.found ? lvl.balance : 0.0);
+    json.row()
+        .set("kind", "cycle_vs_level")
+        .set("family", planar::family_name(f))
+        .set("n", gg.graph.num_nodes())
+        .set("diameter_bound", cyc.diameter_bound)
+        .set("cycle_size", static_cast<int>(cyc.separator.path.size()))
+        .set("cycle_balance", cyc.check.balance)
+        .set("level_found", lvl.found)
+        .set("level_size", static_cast<int>(lvl.separator.size()))
+        .set("level_balance", lvl.found ? lvl.balance : 0.0);
   }
   table.print();
+  json.write(bench::json_path_arg(argc, argv, "lt"));
   std::printf(
       "\nExpectation: levels win on grids/cylinders (thin levels), cycle\n"
       "separators win by orders of magnitude on triangulations and other\n"

@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
+#include "bench_util.hpp"
 #include "core/plansep.hpp"
 
 namespace {
@@ -126,6 +129,56 @@ void BM_WholeDfs(benchmark::State& state) {
 }
 BENCHMARK(BM_WholeDfs)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
 
+/// Console output as usual, plus every run mirrored into the shared
+/// BENCH_*.json row schema (bench_util.hpp) like the table benches.
+class TeeReporter : public benchmark::ConsoleReporter {
+ public:
+  TeeReporter() : json("micro") {}
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      json.row()
+          .set("kind", "micro")
+          .set("name", run.benchmark_name())
+          .set("iterations", static_cast<long long>(run.iterations))
+          .set("real_time", run.GetAdjustedRealTime())
+          .set("cpu_time", run.GetAdjustedCPUTime())
+          .set("time_unit", benchmark::GetTimeUnitString(run.time_unit))
+          .set("items_per_second",
+               run.counters.find("items_per_second") != run.counters.end()
+                   ? static_cast<double>(
+                         run.counters.at("items_per_second"))
+                   : 0.0);
+    }
+  }
+  plansep::bench::BenchJson json;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  plansep::bench::ObsSession obs(argc, argv);
+  const std::string json_path =
+      plansep::bench::json_path_arg(argc, argv, "micro");
+  // Strip the repo-wide flags before handing argv to google-benchmark
+  // (its Initialize rejects flags it does not know).
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0 ||
+        std::strncmp(argv[i], "--metrics-out=", 14) == 0 ||
+        std::strncmp(argv[i], "--trace-out=", 12) == 0 ||
+        std::strncmp(argv[i], "--threads=", 10) == 0 ||
+        std::strcmp(argv[i], "--quick") == 0) {
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  TeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.json.write(json_path);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -47,7 +47,9 @@ std::pair<std::vector<int>, int> band_parts(const planar::EmbeddedGraph& g,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::ObsSession obs(argc, argv);
   const bool quick = bench::quick_mode(argc, argv);
+  bench::BenchJson json("partwise");
   const int n = quick ? 400 : 4000;
 
   std::printf("E9: part-wise aggregation rounds vs number of parts (n=%d)\n\n",
@@ -70,9 +72,19 @@ int main(int argc, char** argv) {
                 res.cost.measured, msg.rounds, res.cost.charged,
                 static_cast<double>(res.cost.measured) /
                     std::max(1, engine.diameter_bound()));
+      json.row()
+          .set("kind", "partwise")
+          .set("family", planar::family_name(f))
+          .set("n", n)
+          .set("parts", parts)
+          .set("diameter_bound", engine.diameter_bound())
+          .set("rounds_measured", res.cost.measured)
+          .set("rounds_msg_level", msg.rounds)
+          .set("rounds_charged", res.cost.charged);
     }
   }
   table.print();
+  json.write(bench::json_path_arg(argc, argv, "partwise"));
   std::printf(
       "\nExpectation: with HHW shortcuts every row would be Otilde(D)\n"
       "(the charged column). `measured` is min(intra-part, global pipeline);\n"

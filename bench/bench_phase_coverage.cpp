@@ -9,7 +9,9 @@
 
 int main(int argc, char** argv) {
   using namespace plansep;
+  bench::ObsSession obs(argc, argv);
   const bool quick = bench::quick_mode(argc, argv);
+  bench::BenchJson json("phase_coverage");
   const int seeds = quick ? 1 : 4;
   const int n = quick ? 150 : 800;
 
@@ -31,8 +33,22 @@ int main(int argc, char** argv) {
               total.phase_counts[3], total.phase_counts[4],
               total.phase_counts[5], total.phase_counts[6],
               total.phase_counts[7]);
+    json.row()
+        .set("kind", "phase_coverage")
+        .set("family", planar::family_name(f))
+        .set("n", n)
+        .set("parts", total.parts)
+        .set("tree", total.phase_counts[0])
+        .set("range", total.phase_counts[1])
+        .set("longpath", total.phase_counts[2])
+        .set("aug_leaf", total.phase_counts[3])
+        .set("hidden", total.phase_counts[4])
+        .set("facepath", total.phase_counts[5])
+        .set("phase5", total.phase_counts[6])
+        .set("lastresort", total.phase_counts[7]);
   }
   table.print();
+  json.write(bench::json_path_arg(argc, argv, "phase_coverage"));
   std::printf(
       "\nExpectation: lastresort = 0 everywhere; trees resolve in Phase 2,\n"
       "dense families mostly in Phase 3/4, sparse ones exercise Phase 5.\n");

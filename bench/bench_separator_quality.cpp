@@ -9,7 +9,9 @@
 
 int main(int argc, char** argv) {
   using namespace plansep;
+  bench::ObsSession obs(argc, argv);
   const bool quick = bench::quick_mode(argc, argv);
+  bench::BenchJson json("separator_quality");
   const int seeds = quick ? 3 : 12;
   const int n = quick ? 150 : 600;
 
@@ -38,8 +40,18 @@ int main(int argc, char** argv) {
     const Summary sz = summarize(sizes);
     table.add(planar::family_name(f), real_n, all_ok, bal.mean, bal.max,
               sz.mean, sz.mean / std::sqrt(static_cast<double>(real_n)));
+    json.row()
+        .set("kind", "separator_quality")
+        .set("family", planar::family_name(f))
+        .set("n", real_n)
+        .set("seeds", seeds)
+        .set("all_ok", all_ok)
+        .set("balance_mean", bal.mean)
+        .set("balance_max", bal.max)
+        .set("separator_mean", sz.mean);
   }
   table.print();
+  json.write(bench::json_path_arg(argc, argv, "separator_quality"));
   std::printf(
       "\nPaper expectation: bal.max <= 0.667 everywhere (Lemma 5); separator\n"
       "sizes are tree paths — unlike Lipton–Tarjan they need not be\n"

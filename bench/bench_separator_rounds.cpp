@@ -13,7 +13,9 @@
 
 int main(int argc, char** argv) {
   using namespace plansep;
+  bench::ObsSession obs(argc, argv);
   const bool quick = bench::quick_mode(argc, argv);
+  bench::BenchJson json("separator_rounds");
 
   std::printf("E1: separator rounds vs diameter (Theorem 1)\n\n");
   Table table({"family", "n", "m", "D<=", "measured", "charged", "chg/D",
@@ -28,8 +30,21 @@ int main(int argc, char** argv) {
               static_cast<double>(run.cost.charged) /
                   (d * bench::polylog2(gg.graph.num_nodes())),
               run.separator.phase);
+    json.row()
+        .set("kind", "separator_rounds")
+        .set("family", planar::family_name(pt.family))
+        .set("n", gg.graph.num_nodes())
+        .set("m", gg.graph.num_edges())
+        .set("diameter_bound", run.diameter_bound)
+        .set("rounds_measured", run.cost.measured)
+        .set("rounds_charged", run.cost.charged)
+        .set("charged_over_d_polylog",
+             static_cast<double>(run.cost.charged) /
+                 (d * bench::polylog2(gg.graph.num_nodes())))
+        .set("phase", run.separator.phase);
   }
   table.print();
+  json.write(bench::json_path_arg(argc, argv, "separator_rounds"));
   std::printf(
       "\nPaper expectation: charged/(D*polylog) bounded as n grows; the\n"
       "trivial lower bound is Omega(D), so chg/D >= 1 always.\n");

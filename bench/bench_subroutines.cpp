@@ -12,7 +12,9 @@
 
 int main(int argc, char** argv) {
   using namespace plansep;
+  bench::ObsSession obs(argc, argv);
   const bool quick = bench::quick_mode(argc, argv);
+  bench::BenchJson json("subroutines");
 
   std::printf("E5: subroutine round costs (measured / charged)\n\n");
   Table table({"family", "n", "D<=", "bfs", "boruvka.m", "boruvka.c",
@@ -35,8 +37,21 @@ int main(int argc, char** argv) {
               engine.diameter_bound(), engine.setup_cost().measured,
               forest.cost.measured, forest.cost.charged, orders.measured,
               orders.charged, pa.cost.measured, pa.cost.charged);
+    json.row()
+        .set("kind", "subroutines")
+        .set("family", planar::family_name(pt.family))
+        .set("n", gg.graph.num_nodes())
+        .set("diameter_bound", engine.diameter_bound())
+        .set("bfs_rounds", engine.setup_cost().measured)
+        .set("boruvka_measured", forest.cost.measured)
+        .set("boruvka_charged", forest.cost.charged)
+        .set("orders_measured", orders.measured)
+        .set("orders_charged", orders.charged)
+        .set("pa_measured", pa.cost.measured)
+        .set("pa_charged", pa.cost.charged);
   }
   table.print();
+  json.write(bench::json_path_arg(argc, argv, "subroutines"));
   std::printf(
       "\nPaper expectation: every column = Otilde(D): bfs ~= D exactly;\n"
       "boruvka and orders pay O(log n) aggregation phases each.\n");

@@ -5,21 +5,26 @@
 // and emits a machine-readable BENCH_<name>.json next to it so the perf
 // trajectory accumulates across commits. Flags understood by every binary
 // that uses these helpers:
-//   --quick        shrink the sweep for smoke runs
-//   --threads=K    round-engine shards for the parallel-engine sections
-//   --json=PATH    override the JSON output path ("" suppresses the file)
+//   --quick            shrink the sweep for smoke runs
+//   --threads=K        round-engine shards for the parallel-engine sections
+//   --json=PATH        override the JSON output path ("" suppresses it)
+//   --metrics-out=PATH write observability metrics JSON (src/obs/)
+//   --trace-out=PATH   write a Chrome trace-event / Perfetto file
 
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/plansep.hpp"
+#include "obs/json.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace_export.hpp"
 #include "util/table.hpp"
 
 namespace plansep::bench {
@@ -79,98 +84,46 @@ class WallTimer {
 
 // ------------------------------------------------------------- JSON out --
 //
-// Flat row-oriented schema shared by every bench:
-//   {"bench": "<name>", "schema": 1, "rows": [{...}, ...]}
-// Rows keep insertion order; values are ints, doubles, bools or strings.
+// The flat row-oriented schema shared by every bench lives in
+// src/obs/json.hpp (obs::RowsJson) so the observability exporters and the
+// bench harness render JSON identically; the historical name stays.
 
-class BenchJson {
+using BenchJson = obs::RowsJson;
+
+// ---------------------------------------------------------- obs session --
+
+/// Opt-in observability for a bench run: when --metrics-out and/or
+/// --trace-out are given, installs a metrics scope (registry + chained
+/// trace sink) for the lifetime of the object and writes the requested
+/// exports at destruction. With neither flag the bench runs with metrics
+/// fully disabled — construct one of these first in every bench main.
+class ObsSession {
  public:
-  explicit BenchJson(std::string name) : name_(std::move(name)) {}
-
-  class Row {
-   public:
-    Row& set(const char* key, long long v) {
-      kv_.emplace_back(key, std::to_string(v));
-      return *this;
+  ObsSession(int argc, char** argv) {
+    if (const char* v = flag_value(argc, argv, "metrics-out")) {
+      metrics_path_ = v;
     }
-    Row& set(const char* key, int v) { return set(key, static_cast<long long>(v)); }
-    Row& set(const char* key, double v) {
-      char buf[64];
-      if (std::isfinite(v)) {
-        std::snprintf(buf, sizeof buf, "%.6g", v);
-      } else {
-        std::snprintf(buf, sizeof buf, "null");
-      }
-      kv_.emplace_back(key, buf);
-      return *this;
+    if (const char* v = flag_value(argc, argv, "trace-out")) trace_path_ = v;
+    if (!metrics_path_.empty() || !trace_path_.empty()) {
+      scoped_.emplace(registry_);
     }
-    Row& set(const char* key, bool v) {
-      kv_.emplace_back(key, v ? "true" : "false");
-      return *this;
-    }
-    Row& set(const char* key, const std::string& v) {
-      kv_.emplace_back(key, quote(v));
-      return *this;
-    }
-    Row& set(const char* key, const char* v) { return set(key, std::string(v)); }
-
-   private:
-    friend class BenchJson;
-    static std::string quote(const std::string& s) {
-      std::string out = "\"";
-      for (const char c : s) {
-        if (c == '"' || c == '\\') out += '\\';
-        if (c == '\n') {
-          out += "\\n";
-          continue;
-        }
-        out += c;
-      }
-      out += '"';
-      return out;
-    }
-    std::vector<std::pair<std::string, std::string>> kv_;
-  };
-
-  /// Appends a fresh row; chain .set(...) calls on the reference.
-  Row& row() {
-    rows_.emplace_back();
-    return rows_.back();
   }
-
-  std::string render() const {
-    std::string out = "{\"bench\": " + Row::quote(name_) + ", \"schema\": 1";
-    out += ", \"rows\": [";
-    for (std::size_t r = 0; r < rows_.size(); ++r) {
-      out += r == 0 ? "\n" : ",\n";
-      out += "  {";
-      const auto& kv = rows_[r].kv_;
-      for (std::size_t i = 0; i < kv.size(); ++i) {
-        if (i) out += ", ";
-        out += Row::quote(kv[i].first) + ": " + kv[i].second;
-      }
-      out += "}";
-    }
-    out += "\n]}\n";
-    return out;
+  ~ObsSession() {
+    if (!scoped_.has_value()) return;
+    scoped_.reset();  // detach + fold pending per-run state
+    obs::write_metrics_json(registry_, metrics_path_);
+    obs::write_chrome_trace(registry_, trace_path_);
   }
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
 
-  /// Writes render() to path (no-op on empty path); announces the file.
-  bool write(const std::string& path) const {
-    if (path.empty()) return true;
-    std::ofstream f(path);
-    if (!f) {
-      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
-      return false;
-    }
-    f << render();
-    std::printf("\n[json] %zu row(s) -> %s\n", rows_.size(), path.c_str());
-    return true;
-  }
+  bool enabled() const { return scoped_.has_value(); }
 
  private:
-  std::string name_;
-  std::vector<Row> rows_;
+  obs::MetricsRegistry registry_;
+  std::optional<obs::ScopedMetrics> scoped_;
+  std::string metrics_path_;
+  std::string trace_path_;
 };
 
 struct SweepPoint {

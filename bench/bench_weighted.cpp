@@ -29,7 +29,9 @@ std::vector<long long> weights(const char* scheme, int n, Rng& rng) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::ObsSession obs(argc, argv);
   const bool quick = bench::quick_mode(argc, argv);
+  bench::BenchJson json("weighted");
   const int seeds = quick ? 2 : 8;
   const int n = quick ? 150 : 1000;
 
@@ -73,9 +75,19 @@ int main(int argc, char** argv) {
       const Summary sz = summarize(sizes);
       table.add(planar::family_name(f), scheme, bal.mean, bal.max, sz.mean,
                 last_resorts);
+      json.row()
+          .set("kind", "weighted_separator")
+          .set("family", planar::family_name(f))
+          .set("n", n)
+          .set("scheme", scheme)
+          .set("balance_mean", bal.mean)
+          .set("balance_max", bal.max)
+          .set("separator_mean", sz.mean)
+          .set("last_resorts", last_resorts);
     }
   }
   table.print();
+  json.write(bench::json_path_arg(argc, argv, "weighted"));
   std::printf(
       "\nExpectation: weighted balance <= 0.667 everywhere, including the\n"
       "degenerate one-heavy-node scheme; the weighted sweeps settle without\n"

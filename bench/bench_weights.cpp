@@ -12,7 +12,9 @@
 int main(int argc, char** argv) {
   using namespace plansep;
   using Clock = std::chrono::steady_clock;
+  bench::ObsSession obs(argc, argv);
   const bool quick = bench::quick_mode(argc, argv);
+  bench::BenchJson json("weights");
 
   std::printf("E8: Definition 2 closed form vs brute-force region count\n\n");
   Table table({"family", "n", "edges", "formula.us/edge", "oracle.us/edge",
@@ -54,8 +56,18 @@ int main(int argc, char** argv) {
               static_cast<int>(fes.size()), us_formula, us_oracle,
               us_oracle / std::max(1e-9, us_formula),
               agree && sum_formula == sum_oracle);
+    json.row()
+        .set("kind", "weight_formula")
+        .set("family", planar::family_name(pt.family))
+        .set("n", gg.graph.num_nodes())
+        .set("edges", static_cast<int>(fes.size()))
+        .set("formula_us_per_edge", us_formula)
+        .set("oracle_us_per_edge", us_oracle)
+        .set("speedup", us_oracle / std::max(1e-9, us_formula))
+        .set("agree", agree && sum_formula == sum_oracle);
   }
   table.print();
+  json.write(bench::json_path_arg(argc, argv, "weights"));
   std::printf(
       "\nExpectation: agreement everywhere (Lemmas 3/4); the closed form is\n"
       "orders of magnitude cheaper — distributively it is the difference\n"

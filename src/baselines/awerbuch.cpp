@@ -1,5 +1,6 @@
 #include "baselines/awerbuch.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace plansep::baselines {
@@ -126,6 +127,7 @@ class AwerbuchProgram : public congest::NodeProgram {
 }  // namespace
 
 AwerbuchResult awerbuch_dfs(const EmbeddedGraph& g, NodeId root) {
+  PLANSEP_SPAN("baselines/awerbuch");
   AwerbuchResult out;
   out.root = root;
   AwerbuchProgram prog(root, &out);

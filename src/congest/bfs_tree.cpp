@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace plansep::congest {
@@ -59,6 +60,7 @@ class BfsProgram : public NodeProgram {
 }  // namespace
 
 BfsResult distributed_bfs(const EmbeddedGraph& g, NodeId root) {
+  PLANSEP_SPAN("congest/bfs");
   BfsResult out;
   out.root = root;
   BfsProgram prog(root, &out);

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "congest/thread_pool.hpp"
+#include "obs/sink.hpp"
 #include "util/check.hpp"
 
 namespace plansep::congest {
@@ -219,6 +220,11 @@ int Network::run(NodeProgram& prog, int max_rounds) {
   active_next_.clear();
   staged_.clear();
   messages_sent_ = 0;
+  // Consider the PLANSEP_METRICS env bootstrap (obs/) before resolving the
+  // global sink, so env-enabled metrics observe every run in the process
+  // even when no other obs entry point was reached first. One static-guard
+  // check after the first call.
+  obs::ensure_env_metrics();
   active_sink_ = sink_ ? sink_ : global_trace_sink();
   if (active_sink_) active_sink_->on_run_begin(*g_);
 
@@ -267,6 +273,7 @@ int Network::run(NodeProgram& prog, int max_rounds) {
     }
     ++round;
   }
+  if (active_sink_) active_sink_->on_run_end(round, messages_sent_);
   active_sink_ = nullptr;
   return round;
 }

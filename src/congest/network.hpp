@@ -85,6 +85,13 @@ class TraceSink {
   virtual void on_round_end(int round, int activated, long long delivered) {
     (void)round, (void)activated, (void)delivered;
   }
+  /// The run reached quiescence (or max_rounds) after `rounds` rounds and
+  /// `messages` accepted sends. Not called when the program throws — a
+  /// sink that folds per-run state should treat the next on_run_begin as
+  /// an implicit end (obs::MetricsSink does).
+  virtual void on_run_end(int rounds, long long messages) {
+    (void)rounds, (void)messages;
+  }
 };
 
 /// Installs a process-wide sink that every Network picks up at run() time

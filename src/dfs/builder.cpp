@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "subroutines/components.hpp"
 #include "subroutines/part_context.hpp"
 #include "util/check.hpp"
@@ -10,6 +11,7 @@ namespace plansep::dfs {
 
 DfsBuildResult build_dfs_tree(const planar::EmbeddedGraph& g, NodeId root,
                               shortcuts::PartwiseEngine& engine) {
+  obs::Span build_span("dfs/build");
   DfsBuildResult out{PartialDfsTree(g, root), 0, {}, {}, {}};
   const NodeId n = g.num_nodes();
 
@@ -23,6 +25,7 @@ DfsBuildResult build_dfs_tree(const planar::EmbeddedGraph& g, NodeId root,
   while (out.tree.size() < n) {
     PLANSEP_CHECK_MSG(out.phases < 200, "DFS recursion did not converge");
     ++out.phases;
+    PLANSEP_SPAN("dfs/phase");
     PhaseInfo info;
 
     // Components of G − T_d.
@@ -132,6 +135,9 @@ DfsBuildResult build_dfs_tree(const planar::EmbeddedGraph& g, NodeId root,
 
     out.phase_info.push_back(info);
   }
+  build_span.note("phases", out.phases);
+  build_span.note("rounds_charged", out.cost.charged);
+  build_span.note("pa_calls", out.cost.pa_calls);
   return out;
 }
 

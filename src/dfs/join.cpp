@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "subroutines/components.hpp"
 #include "subroutines/part_context.hpp"
 #include "util/check.hpp"
@@ -37,6 +38,7 @@ std::vector<NodeId> fragment_endpoints(const RootedSpanningTree& t,
 
 JoinResult join_separators(PartialDfsTree& tree, const std::vector<char>& marked,
                            shortcuts::PartwiseEngine& engine) {
+  obs::Span span("dfs/join");
   const EmbeddedGraph& g = tree.graph();
   const NodeId n = g.num_nodes();
   JoinResult out;
@@ -163,6 +165,8 @@ JoinResult join_separators(PartialDfsTree& tree, const std::vector<char>& marked
     out.cost += engine.blackbox_charge();
     out.cost += shortcuts::local_exchange(1);
   }
+  span.note("iterations", out.iterations);
+  span.note("nodes_added", out.nodes_added);
   return out;
 }
 

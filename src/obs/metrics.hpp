@@ -1,0 +1,197 @@
+#pragma once
+
+// Observability core: a deterministic metrics registry with counters,
+// power-of-two histograms, a round/message clock, and RAII phase spans.
+//
+// Design constraints (DESIGN.md §8):
+//
+//   * Deterministic. Registry contents are a pure function of the
+//     algorithm's execution: no wall-clock, no thread ids, no pointers.
+//     Counters and histograms live in sorted maps; spans are recorded in
+//     open order. A k-thread run over the parallel round engine produces a
+//     byte-identical to_json() to the serial run (the engine replays all
+//     sink events in serial order, and spans only ever open/close on the
+//     coordinating thread).
+//   * Cheap when disabled. Nothing here is touched per node or per
+//     message on the disabled path: PLANSEP_SPAN and the advance_rounds /
+//     add_counter helpers reduce to one atomic pointer load and a branch,
+//     and they sit at phase granularity (per aggregation / per engine
+//     call), not in the round loop. The per-message hooks live in
+//     obs::MetricsSink, which is only consulted when a sink is installed
+//     (the same test the CONGEST engine already performs for tracing).
+//   * Single-threaded mutation. Like TraceSink, a registry must only be
+//     mutated from the thread driving the algorithm; the global-registry
+//     *pointer* is published atomically so scopes can be installed while
+//     other threads run their own (un-instrumented) work.
+//
+// The clock has two components, folded into one timeline:
+//   network rounds   — advanced by obs::MetricsSink as simulated CONGEST
+//                      rounds execute;
+//   analytic rounds  — advanced at the cost-model charge sites
+//                      (shortcuts::local_exchange, PartwiseEngine::
+//                      aggregate/blackbox_charge, the separator engine's
+//                      PA multipliers), mirroring the measured ledger of
+//                      shortcuts::RoundCost.
+// Span begin/end snapshot this merged clock, which is what the Chrome
+// trace exporter maps to timestamps (1 round = 1 µs).
+//
+// This header must stay free of project includes beyond util/ — it is
+// included from hot headers like shortcuts/cost.hpp.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace plansep::obs {
+
+/// Histogram over non-negative integer samples with power-of-two buckets:
+/// bucket i counts samples v with bit_width(v) == i, i.e. upper bound
+/// 2^i - 1 (bucket 0 catches v <= 0). Exact count/sum/min/max ride along.
+struct HistogramData {
+  long long count = 0;
+  long long sum = 0;
+  long long min = 0;  // meaningful once count > 0
+  long long max = 0;
+  std::vector<long long> buckets;
+
+  void add(long long v);
+  /// Upper bound of bucket i (inclusive): 2^i - 1.
+  static long long bucket_le(std::size_t i) {
+    return (1LL << static_cast<int>(i)) - 1;
+  }
+};
+
+/// One closed (or still-open) phase span. Begin/end snapshot the merged
+/// round clock and the message counter, so a span's cost attribution is
+/// end - begin on both axes.
+struct SpanRecord {
+  std::string name;
+  int depth = 0;           // nesting depth at open (0 = root)
+  long long begin_rounds = 0;
+  long long end_rounds = 0;
+  long long begin_messages = 0;
+  long long end_messages = 0;
+  bool open = true;  // still unclosed (process exit / export mid-phase)
+  /// Deterministic key→value annotations (e.g. the charged-rounds ledger).
+  std::vector<std::pair<std::string, long long>> notes;
+};
+
+/// Per-round activity sample retained for the trace exporter's counter
+/// tracks. Capped (see set_round_sample_cap); drops are counted, never
+/// silent.
+struct RoundSample {
+  long long ts = 0;  // merged clock value after the round
+  int active = 0;
+  long long delivered = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+
+  // --- counters / histograms ---------------------------------------------
+  void add(std::string_view name, long long delta = 1);
+  /// Current value; 0 when the counter was never touched.
+  long long counter(std::string_view name) const;
+  HistogramData& histogram(std::string_view name);
+  const std::map<std::string, long long, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, HistogramData, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  // --- clock -------------------------------------------------------------
+  void advance_network_round() {
+    ++network_rounds_;
+    ++rounds_;
+  }
+  void advance_analytic(long long measured) {
+    if (measured > 0) {
+      analytic_rounds_ += measured;
+      rounds_ += measured;
+    }
+  }
+  void count_message() { ++messages_; }
+  long long rounds() const { return rounds_; }
+  long long network_rounds() const { return network_rounds_; }
+  long long analytic_rounds() const { return analytic_rounds_; }
+  long long messages() const { return messages_; }
+
+  // --- spans -------------------------------------------------------------
+  /// Opens a span; returns a token for end_span/note, or -1 when the span
+  /// cap is hit (the drop is counted in "obs/spans_dropped").
+  int begin_span(const char* name);
+  /// Closes the span; must be the innermost open one (strict LIFO).
+  void end_span(int token);
+  void note(int token, const char* key, long long value);
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  int open_depth() const { return static_cast<int>(open_stack_.size()); }
+  void set_span_cap(std::size_t cap) { span_cap_ = cap; }
+
+  // --- round samples -----------------------------------------------------
+  void record_round_sample(int active, long long delivered);
+  const std::vector<RoundSample>& round_samples() const { return samples_; }
+  void set_round_sample_cap(std::size_t cap) { sample_cap_ = cap; }
+
+  /// Deterministic JSON snapshot: clock, counters, histograms, spans
+  /// (round samples are the trace exporter's concern). Byte-identical
+  /// across runs with identical execution, including k-thread runs.
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, long long, std::less<>> counters_;
+  std::map<std::string, HistogramData, std::less<>> histograms_;
+  std::vector<SpanRecord> spans_;
+  std::vector<int> open_stack_;  // indices into spans_, innermost last
+  long long rounds_ = 0;
+  long long network_rounds_ = 0;
+  long long analytic_rounds_ = 0;
+  long long messages_ = 0;
+  std::vector<RoundSample> samples_;
+  std::size_t span_cap_;
+  std::size_t sample_cap_;
+  long long spans_dropped_ = 0;
+  long long samples_dropped_ = 0;
+};
+
+/// Installs reg as the process-global registry (nullptr detaches); returns
+/// the previous one. Atomic publish — see the threading note above.
+MetricsRegistry* set_global_registry(MetricsRegistry* reg);
+/// The current global registry, or nullptr when metrics are disabled. The
+/// first call considers the PLANSEP_METRICS environment bootstrap
+/// (obs/sink.hpp).
+MetricsRegistry* global_registry();
+
+/// Charges measured analytic rounds to the global registry; no-op when
+/// metrics are disabled. This is the hook the cost model calls.
+void advance_rounds(long long measured);
+/// Bumps a global counter; no-op when disabled.
+void add_counter(std::string_view name, long long delta = 1);
+
+/// RAII phase span against the global registry. Resolves the registry once
+/// at construction, so a scope that closes mid-span still balances.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  /// Attaches a key→value annotation (no-op when disabled/dropped).
+  void note(const char* key, long long value);
+
+ private:
+  MetricsRegistry* reg_;
+  int token_ = -1;
+};
+
+#define PLANSEP_OBS_CONCAT_(a, b) a##b
+#define PLANSEP_OBS_CONCAT(a, b) PLANSEP_OBS_CONCAT_(a, b)
+/// Anonymous RAII span covering the rest of the enclosing scope.
+#define PLANSEP_SPAN(name) \
+  ::plansep::obs::Span PLANSEP_OBS_CONCAT(plansep_span_, __LINE__)(name)
+
+}  // namespace plansep::obs

@@ -1,0 +1,106 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.hpp"
+
+namespace plansep::obs {
+
+namespace {
+
+constexpr int kPid = 1;
+constexpr int kPhaseTid = 1;
+
+void emit_metadata(JsonWriter& w, const char* name, int tid,
+                   const char* value) {
+  w.begin_object();
+  w.key("ph").value("M");
+  w.key("pid").value(kPid);
+  if (tid >= 0) w.key("tid").value(tid);
+  w.key("name").value(name);
+  w.key("args").begin_object().key("name").value(value).end_object();
+  w.end_object();
+}
+
+void emit_counter(JsonWriter& w, const char* track, long long ts,
+                  const char* series, long long value) {
+  w.begin_object();
+  w.key("ph").value("C");
+  w.key("pid").value(kPid);
+  w.key("name").value(track);
+  w.key("ts").value(ts);
+  w.key("args").begin_object().key(series).value(value).end_object();
+  w.end_object();
+}
+
+bool write_file(const std::string& content, const std::string& path,
+                const char* what, bool announce) {
+  if (path.empty()) return true;
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+    return false;
+  }
+  f << content;
+  if (announce) {
+    std::printf("[obs] %s -> %s\n", what, path.c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const MetricsRegistry& reg) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+
+  emit_metadata(w, "process_name", -1, "plansep");
+  emit_metadata(w, "thread_name", kPhaseTid, "phases");
+
+  for (const SpanRecord& s : reg.spans()) {
+    const long long end = s.open ? reg.rounds() : s.end_rounds;
+    const long long end_messages = s.open ? reg.messages() : s.end_messages;
+    w.begin_object();
+    w.key("ph").value("X");
+    w.key("pid").value(kPid);
+    w.key("tid").value(kPhaseTid);
+    w.key("cat").value("phase");
+    w.key("name").value(s.name);
+    w.key("ts").value(s.begin_rounds);
+    // Zero-round spans still get a visible 1 µs sliver.
+    w.key("dur").value(std::max<long long>(1, end - s.begin_rounds));
+    w.key("args").begin_object();
+    w.key("rounds").value(end - s.begin_rounds);
+    w.key("messages").value(end_messages - s.begin_messages);
+    for (const auto& [k, v] : s.notes) w.key(k).value(v);
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const RoundSample& s : reg.round_samples()) {
+    emit_counter(w, "active nodes", s.ts, "active", s.active);
+    emit_counter(w, "delivered messages", s.ts, "delivered", s.delivered);
+  }
+
+  w.end_array();
+  w.end_object();
+  std::string out = w.str();
+  out += '\n';
+  return out;
+}
+
+bool write_chrome_trace(const MetricsRegistry& reg, const std::string& path,
+                        bool announce) {
+  return write_file(chrome_trace_json(reg), path, "perfetto trace", announce);
+}
+
+bool write_metrics_json(const MetricsRegistry& reg, const std::string& path,
+                        bool announce) {
+  return write_file(reg.to_json(), path, "metrics", announce);
+}
+
+}  // namespace plansep::obs

@@ -1,0 +1,32 @@
+#pragma once
+
+// Exporters: metrics JSON and Chrome trace-event JSON (the format
+// ui.perfetto.dev and chrome://tracing load natively).
+//
+// The trace mapping (DESIGN.md §8): simulated rounds are the clock — one
+// round is one microsecond of trace time. Phase spans become complete "X"
+// slices on a single synthetic thread (nesting renders as the usual flame
+// layout, since span begin/end are strictly LIFO on the merged round
+// clock); per-round activity samples become "C" counter tracks (active
+// nodes, delivered messages). No wall-clock anywhere: the file is
+// byte-deterministic for deterministic executions.
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace plansep::obs {
+
+/// Renders reg as a Chrome trace-event JSON document.
+std::string chrome_trace_json(const MetricsRegistry& reg);
+
+/// Writes chrome_trace_json(reg) to path (no-op on empty path). Announces
+/// the file on stdout when announce is set. Returns false on I/O failure.
+bool write_chrome_trace(const MetricsRegistry& reg, const std::string& path,
+                        bool announce = true);
+
+/// Writes reg.to_json() to path (no-op on empty path).
+bool write_metrics_json(const MetricsRegistry& reg, const std::string& path,
+                        bool announce = true);
+
+}  // namespace plansep::obs

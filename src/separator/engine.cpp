@@ -8,6 +8,7 @@
 #include "faces/hidden.hpp"
 #include "faces/membership.hpp"
 #include "faces/weights.hpp"
+#include "obs/metrics.hpp"
 #include "subroutines/components.hpp"
 #include "util/check.hpp"
 
@@ -279,6 +280,7 @@ void SeparatorStats::record(int phase) {
 }
 
 SeparatorResult SeparatorEngine::compute(const PartSet& ps) {
+  obs::Span span("separator/compute");
   SeparatorResult out;
   out.parts.resize(static_cast<std::size_t>(ps.num_parts));
   out.marked.assign(static_cast<std::size_t>(ps.g->num_nodes()), 0);
@@ -295,17 +297,24 @@ SeparatorResult SeparatorEngine::compute(const PartSet& ps) {
     c.charged *= k;
     c.pa_calls = k;
     out.cost += c;
+    // The probe aggregation above already advanced the obs round clock by
+    // one unit; mirror the k-fold ledger charge on the timeline too.
+    obs::advance_rounds(c.measured);
   };
-  // Weights (Lemma 12): endpoint-local exchanges after the orders exist.
-  out.cost += shortcuts::local_exchange(2);
-  charge_pa(3);   // Phase 2: tree test + range + centroid broadcast
-  charge_pa(5);   // Phase 3: range over ω, endpoint broadcast, mark-path
-  charge_pa(15);  // Phase 4: not-contains, detect-face, augmentation
-                  // broadcast, range, hidden, not-contained, mark-path
-  charge_pa(8);   // Phase 5: not-contained, F_l/F_r sums, mark-path
-  out.cost += shortcuts::local_exchange(4);
+  {
+    PLANSEP_SPAN("separator/weights");
+    // Weights (Lemma 12): endpoint-local exchanges after the orders exist.
+    out.cost += shortcuts::local_exchange(2);
+    charge_pa(3);   // Phase 2: tree test + range + centroid broadcast
+    charge_pa(5);   // Phase 3: range over ω, endpoint broadcast, mark-path
+    charge_pa(15);  // Phase 4: not-contains, detect-face, augmentation
+                    // broadcast, range, hidden, not-contained, mark-path
+    charge_pa(8);   // Phase 5: not-contained, F_l/F_r sums, mark-path
+    out.cost += shortcuts::local_exchange(4);
+  }
 
   // --- Candidate generation and verification.
+  obs::Span verify_span("separator/verify");
   int verify_rounds_used = 0;
   for (int p = 0; p < ps.num_parts; ++p) {
     if (!ps.trees[static_cast<std::size_t>(p)]) continue;
@@ -341,6 +350,10 @@ SeparatorResult SeparatorEngine::compute(const PartSet& ps) {
       1 + static_cast<long long>(
               std::ceil(std::log2(std::max(2, ps.g->num_nodes()))));
   charge_pa(verify_rounds_used * (log_n + 1));
+  verify_span.note("candidates_tried", out.stats.candidates_tried);
+  span.note("parts", ps.num_parts);
+  span.note("rounds_charged", out.cost.charged);
+  span.note("pa_calls", out.cost.pa_calls);
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "subroutines/components.hpp"
 #include "subroutines/part_context.hpp"
 #include "util/check.hpp"
@@ -11,6 +12,7 @@ namespace plansep::separator {
 SeparatorHierarchy build_hierarchy(const planar::EmbeddedGraph& g,
                                    shortcuts::PartwiseEngine& engine,
                                    int leaf_size) {
+  PLANSEP_SPAN("separator/hierarchy");
   PLANSEP_CHECK(leaf_size >= 1);
   const NodeId n = g.num_nodes();
   SeparatorHierarchy out;

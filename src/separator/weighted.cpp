@@ -18,6 +18,7 @@
 #include "faces/hidden.hpp"
 #include "faces/membership.hpp"
 #include "faces/weights.hpp"
+#include "obs/metrics.hpp"
 #include "separator/engine.hpp"
 #include "subroutines/components.hpp"
 #include "util/check.hpp"
@@ -230,6 +231,7 @@ SeparatorResult SeparatorEngine::compute_weighted(
 
   // Unweighted candidates first (they are verified against the weighted
   // balance below); weight-aware candidates appended per part.
+  obs::Span span("separator/weighted");
   SeparatorResult out;
   out.parts.resize(static_cast<std::size_t>(ps.num_parts));
   out.marked.assign(static_cast<std::size_t>(ps.g->num_nodes()), 0);
@@ -245,6 +247,7 @@ SeparatorResult SeparatorEngine::compute_weighted(
     c.charged *= k;
     c.pa_calls = k;
     out.cost += c;
+    obs::advance_rounds(c.measured);  // mirror the ledger on the obs clock
   };
   charge_pa(34);  // phases 2-5 as in compute()
   out.cost += engine_->blackbox_charge();  // weighted sums

@@ -14,6 +14,8 @@
 // Benchmarks report both, so the Õ(D) claims can be verified under the
 // paper's accounting while exposing the substitute's real behavior.
 
+#include "obs/metrics.hpp"
+
 namespace plansep::shortcuts {
 
 struct RoundCost {
@@ -31,12 +33,16 @@ struct RoundCost {
   }
 };
 
-/// Cost of one O(1)-round local exchange.
+/// Cost of one O(1)-round local exchange. Charge sites like this one also
+/// drive the observability round clock (obs/metrics.hpp): the measured
+/// ledger and the obs timeline advance together, so phase spans get
+/// durations under the same accounting the benches report.
 inline RoundCost local_exchange(int rounds = 1) {
   RoundCost c;
   c.measured = rounds;
   c.charged = rounds;
   c.local_rounds = rounds;
+  obs::advance_rounds(rounds);
   return c;
 }
 

@@ -4,6 +4,7 @@
 #include <deque>
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace plansep::shortcuts {
@@ -39,6 +40,7 @@ constexpr long long kGlobalSimBudget = 20'000'000;
 }  // namespace
 
 PartwiseEngine::PartwiseEngine(const EmbeddedGraph& g, NodeId root) : g_(&g) {
+  PLANSEP_SPAN("pa/setup_bfs");
   bfs_ = congest::distributed_bfs(g, root);
   for (int d : bfs_.depth) {
     PLANSEP_CHECK_MSG(d >= 0, "graph must be connected");
@@ -65,6 +67,7 @@ RoundCost PartwiseEngine::blackbox_charge() const {
   c.measured = 2 * std::max(1, bfs_.height);
   c.charged = std::max(1, bfs_.height);
   c.pa_calls = 1;
+  obs::advance_rounds(c.measured);
   return c;
 }
 
@@ -206,6 +209,7 @@ long long PartwiseEngine::global_tree_rounds(const std::vector<int>& part) const
 AggregateResult PartwiseEngine::aggregate(const std::vector<int>& part,
                                           const std::vector<std::int64_t>& value,
                                           AggOp op) {
+  obs::Span span("pa/aggregate");
   const NodeId n = g_->num_nodes();
   PLANSEP_CHECK(static_cast<NodeId>(part.size()) == n);
   PLANSEP_CHECK(static_cast<NodeId>(value.size()) == n);
@@ -235,6 +239,12 @@ AggregateResult PartwiseEngine::aggregate(const std::vector<int>& part,
   out.cost.measured = std::min(intra, global);
   out.cost.charged = std::max(1, bfs_.height);
   out.cost.pa_calls = 1;
+  span.note("measured", out.cost.measured);
+  span.note("intra", intra);
+  if (global < std::numeric_limits<long long>::max() / 8) {
+    span.note("global_tree", global);
+  }
+  obs::advance_rounds(out.cost.measured);
   return out;
 }
 

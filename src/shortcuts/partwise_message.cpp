@@ -4,6 +4,7 @@
 #include <limits>
 #include <map>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace plansep::shortcuts {
@@ -209,6 +210,7 @@ MessageAggregateResult message_level_aggregate(
     const EmbeddedGraph& g, const congest::BfsResult& bfs,
     const std::vector<int>& part, const std::vector<std::int64_t>& value,
     AggOp op) {
+  PLANSEP_SPAN("pa/message_aggregate");
   MessageAggregateResult out;
   PartwiseProgram prog(bfs, part, value, op, &out);
   congest::Network net(g);

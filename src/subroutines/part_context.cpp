@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace plansep::sub {
@@ -51,6 +52,7 @@ PartSet finish_part_set(const EmbeddedGraph& g, const std::vector<int>& part,
 PartSet build_part_set(const EmbeddedGraph& g, const std::vector<int>& part,
                        int num_parts, PartwiseEngine& engine,
                        const std::vector<NodeId>& preferred_root) {
+  PLANSEP_SPAN("sub/part_set");
   SpanningForest forest = boruvka_forest(
       g, part, num_parts, [](EdgeId) { return 0; }, engine);
   std::vector<NodeId> roots = forest.root;
@@ -99,6 +101,7 @@ PartSet part_set_from_forest(const EmbeddedGraph& g,
 }
 
 RoundCost charge_dfs_orders(PartwiseEngine& engine, const PartSet& ps) {
+  PLANSEP_SPAN("sub/orders");
   // Simulate the fragment partition evolution of Lemma 11: every node
   // starts as its own fragment whose depth is its tree depth; per phase,
   // fragments at odd depth merge into the fragment containing their root's
@@ -134,6 +137,9 @@ RoundCost charge_dfs_orders(PartwiseEngine& engine, const PartSet& ps) {
     total += shortcuts::local_exchange(2);
     std::vector<std::int64_t> zeros(static_cast<std::size_t>(n), 0);
     auto agg = engine.aggregate(frag, zeros, shortcuts::AggOp::kMax);
+    // aggregate() advanced the obs clock by one unit; mirror the
+    // remaining kWordsPerPhase - 1 words of the ledger charge.
+    obs::advance_rounds(agg.cost.measured * (kWordsPerPhase - 1));
     agg.cost.measured *= kWordsPerPhase;
     agg.cost.charged *= kWordsPerPhase;
     agg.cost.pa_calls *= kWordsPerPhase;

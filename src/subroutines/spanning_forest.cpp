@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace plansep::sub {
@@ -31,6 +32,7 @@ struct Dsu {
 SpanningForest boruvka_forest(
     const EmbeddedGraph& g, const std::vector<int>& part, int num_parts,
     const std::function<int(EdgeId)>& weight, PartwiseEngine& engine) {
+  PLANSEP_SPAN("sub/boruvka");
   const NodeId n = g.num_nodes();
   SpanningForest out;
   out.parent_dart.assign(static_cast<std::size_t>(n), planar::kNoDart);

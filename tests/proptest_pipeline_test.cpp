@@ -12,6 +12,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
 #include "shortcuts/partwise.hpp"
 #include "shortcuts/partwise_message.hpp"
 #include "testing/proptest.hpp"
@@ -156,7 +158,64 @@ TEST(ProptestPipeline, ParallelPipelineTraceEquivalentToSerial) {
   }
 }
 
+TEST(ProptestPipeline, ParallelPipelineMetricsByteIdenticalToSerial) {
+  // Acceptance bar for the observability subsystem: the metrics JSON —
+  // merged round clock, message counter, congestion histograms, span
+  // timeline with notes — must be byte-identical between a serial run and
+  // a 4-thread round-engine run, for every generator family. The sink
+  // replay order and the coordinator-thread-only span discipline make this
+  // hold exactly, not approximately.
+  const Property metrics_equiv = [](const Instance& inst,
+                                    InvariantReport& rep) {
+    auto measure = [&](const congest::ThreadConfig& cfg) {
+      congest::ScopedThreadConfig guard(cfg);
+      obs::MetricsRegistry reg;
+      {
+        obs::ScopedMetrics scope(reg);
+        InvariantReport inner;
+        PipelineOptions opt;
+        opt.run_hierarchy = false;  // keep each doubled run small
+        run_pipeline_checked(inst, opt, inner);
+      }
+      return reg.to_json();
+    };
+    const std::string serial = measure({1, 64});
+    const std::string par = measure({4, 0});
+    if (serial.find("\"name\"") == std::string::npos) {
+      rep.fail("serial run recorded no spans");
+    }
+    if (serial != par) {
+      // Find the first differing line for a readable report.
+      std::size_t line_start = 0;
+      for (std::size_t i = 0; i < std::min(serial.size(), par.size()); ++i) {
+        if (serial[i] != par[i]) break;
+        if (serial[i] == '\n') line_start = i + 1;
+      }
+      rep.fail("serial vs 4-thread metrics JSON diverge near: " +
+               serial.substr(line_start, 160));
+    }
+  };
+
+  for (Family f : default_families()) {
+    PropConfig cfg;
+    cfg.cases = 4;
+    cfg.min_n = 16;
+    cfg.max_n = 56;
+    cfg.families = {f};
+    cfg.mutation_probability = 0.3;
+    cfg.base_seed = 0x0b5 + static_cast<std::uint64_t>(f);
+    const PropResult res =
+        run_property("parallel_metrics_equality", cfg, metrics_equiv);
+    EXPECT_TRUE(res.ok()) << planar::family_name(f) << ": " << res.summary();
+    EXPECT_EQ(res.cases_run, cfg.cases);
+  }
+}
+
 TEST(ProptestPipeline, GlobalSinkDetachesCleanly) {
+  // Settle any PLANSEP_METRICS bootstrap so the baseline sink is stable
+  // across the engine runs below (Network::run would trigger it mid-test).
+  obs::global_registry();
+  congest::TraceSink* const base = congest::global_trace_sink();
   TraceRecorder rec;
   {
     ScopedTraceCapture cap(rec);
@@ -166,7 +225,7 @@ TEST(ProptestPipeline, GlobalSinkDetachesCleanly) {
   }
   const long long captured = rec.total_messages();
   EXPECT_GT(captured, 0);
-  EXPECT_EQ(congest::global_trace_sink(), nullptr);
+  EXPECT_EQ(congest::global_trace_sink(), base);
   // Outside the scope nothing more is recorded.
   const Instance inst2 =
       build_instance({Family::kGrid, 25, 2, Mutation::kNone});
