@@ -7,12 +7,14 @@
 #include "congest/thread_pool.hpp"
 #include "obs/sink.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace plansep::congest {
 
 namespace {
 
 std::atomic<TraceSink*> g_trace_sink{nullptr};
+std::atomic<FaultInjector*> g_fault_injector{nullptr};
 
 ThreadConfig read_env_config() {
   ThreadConfig cfg;
@@ -42,6 +44,14 @@ TraceSink* set_global_trace_sink(TraceSink* sink) {
 
 TraceSink* global_trace_sink() {
   return g_trace_sink.load(std::memory_order_acquire);
+}
+
+FaultInjector* set_global_fault_injector(FaultInjector* injector) {
+  return g_fault_injector.exchange(injector, std::memory_order_acq_rel);
+}
+
+FaultInjector* global_fault_injector() {
+  return g_fault_injector.load(std::memory_order_acquire);
 }
 
 ThreadConfig set_default_thread_config(const ThreadConfig& cfg) {
@@ -81,6 +91,7 @@ Network::Network(const EmbeddedGraph& g) : g_(&g), cfg_(default_thread_config())
   inbox_.resize(static_cast<std::size_t>(g.num_nodes()));
   woken_.assign(static_cast<std::size_t>(g.num_nodes()), 0);
   sent_round_.assign(static_cast<std::size_t>(g.num_darts()), -1);
+  crash_pending_flag_.assign(static_cast<std::size_t>(g.num_nodes()), 0);
 }
 
 void Network::set_threads(int k) {
@@ -124,13 +135,14 @@ void Network::do_send_staged(detail::ShardBuf& buf, NodeId from, NodeId to,
 }
 
 // Executes one round's turns sharded over the pool and merges the staged
-// effects in serial execution order; returns the number of messages
-// delivered. active_next_/woken_/inbox_ are updated exactly as the serial
-// loop would. Rethrows the earliest turn's exception (later shards'
-// staged effects are discarded — serial would never have reached them).
-long long Network::run_round_parallel(NodeProgram& prog, int round,
-                                      const std::vector<NodeId>& active,
-                                      int shards) {
+// effects' side channels in serial execution order: sink notifications and
+// the message counter are replayed, the earliest turn's exception is
+// rethrown (later shards' staged effects are discarded — serial would
+// never have reached them), and wake-ups are applied before deliveries,
+// mirroring the serial push order. On return the accepted sends sit in
+// shard_bufs_[0..shards) in serial order, ready for delivery.
+void Network::parallel_turns(NodeProgram& prog, int round,
+                             const std::vector<NodeId>& active, int shards) {
   if (static_cast<int>(shard_bufs_.size()) < shards) {
     shard_bufs_.resize(static_cast<std::size_t>(shards));
   }
@@ -198,6 +210,12 @@ long long Network::run_round_parallel(NodeProgram& prog, int round,
       }
     }
   }
+}
+
+long long Network::run_round_parallel(NodeProgram& prog, int round,
+                                      const std::vector<NodeId>& active,
+                                      int shards) {
+  parallel_turns(prog, round, active, shards);
   long long delivered = 0;
   for (int s = 0; s < shards; ++s) {
     for (const auto& [to, inc] : shard_bufs_[static_cast<std::size_t>(s)].sends) {
@@ -208,6 +226,126 @@ long long Network::run_round_parallel(NodeProgram& prog, int round,
       }
       box.push_back(inc);
       ++delivered;
+    }
+  }
+  return delivered;
+}
+
+// One round under an active FaultInjector. Crash decisions are taken on
+// the coordinating thread before turns (so serial and sharded execution
+// filter the identical node list); delivery fates and reorders are applied
+// after all turns, in serial staging order — the same merge discipline the
+// parallel engine already guarantees, which keeps k-thread runs
+// bit-identical to serial even under an active plan.
+long long Network::run_round_faulted(NodeProgram& prog, int round,
+                                     const std::vector<NodeId>& active) {
+  FaultInjector& fi = *active_fault_;
+  // Crash filter: crashed nodes lose this turn and any pending mail, and
+  // are parked; parked nodes whose crash interval ended get one restart
+  // turn (empty inbox) this round.
+  faulted_active_.clear();
+  for (const NodeId v : active) {
+    if (fi.crashed(round, v)) {
+      inbox_[static_cast<std::size_t>(v)].clear();
+      if (!crash_pending_flag_[static_cast<std::size_t>(v)]) {
+        crash_pending_flag_[static_cast<std::size_t>(v)] = 1;
+        crash_pending_.push_back(v);
+      }
+    } else {
+      // A parked node that re-activated on its own (fresh mail) simply
+      // rejoins; no separate restart turn is owed.
+      crash_pending_flag_[static_cast<std::size_t>(v)] = 0;
+      faulted_active_.push_back(v);
+    }
+  }
+  if (!crash_pending_.empty()) {
+    std::size_t keep = 0;
+    for (const NodeId v : crash_pending_) {
+      if (!crash_pending_flag_[static_cast<std::size_t>(v)]) continue;
+      if (fi.crashed(round, v)) {
+        crash_pending_[keep++] = v;
+        continue;
+      }
+      crash_pending_flag_[static_cast<std::size_t>(v)] = 0;
+      faulted_active_.push_back(v);  // restart turn
+    }
+    crash_pending_.resize(keep);
+  }
+
+  // Turns, staging accepted sends into staged_ in serial execution order.
+  staged_.clear();
+  const int shards =
+      std::min<int>(cfg_.threads, static_cast<int>(faulted_active_.size()));
+  if (shards > 1 && static_cast<int>(faulted_active_.size()) >=
+                        cfg_.min_active_to_parallelize) {
+    parallel_turns(prog, round, faulted_active_, shards);
+    for (int s = 0; s < shards; ++s) {
+      const auto& sends = shard_bufs_[static_cast<std::size_t>(s)].sends;
+      staged_.insert(staged_.end(), sends.begin(), sends.end());
+    }
+  } else {
+    Ctx ctx;
+    ctx.net_ = this;
+    ctx.round_ = round;
+    for (const NodeId v : faulted_active_) {
+      auto& box = inbox_[static_cast<std::size_t>(v)];
+      std::vector<Incoming> mail;
+      mail.swap(box);
+      ctx.self_ = v;
+      prog.round(v, mail, ctx);
+    }
+  }
+  return deliver_faulted(round);
+}
+
+// Delivery stage of a faulted round: flush last round's stalled messages,
+// apply per-message fates to this round's staged sends, then permute the
+// touched inboxes the injector wants reordered.
+long long Network::deliver_faulted(int round) {
+  FaultInjector& fi = *active_fault_;
+  long long delivered = 0;
+  touched_.clear();
+  const auto push = [&](NodeId to, const Incoming& inc) {
+    auto& box = inbox_[static_cast<std::size_t>(to)];
+    if (box.empty() && !woken_[static_cast<std::size_t>(to)]) {
+      woken_[static_cast<std::size_t>(to)] = 1;
+      active_next_.push_back(to);
+    }
+    box.push_back(inc);
+    touched_.push_back(to);
+    ++delivered;
+  };
+  // Messages stalled in the previous round arrive now, ahead of this
+  // round's traffic, in their original staging order.
+  for (const auto& [to, inc] : deferred_) push(to, inc);
+  deferred_.clear();
+  for (const auto& [to, inc] : staged_) {
+    switch (fi.fate(round, inc.from, to)) {
+      case FaultInjector::Fate::kDrop:
+        break;
+      case FaultInjector::Fate::kStall:
+        deferred_next_.push_back({to, inc});
+        break;
+      case FaultInjector::Fate::kDuplicate:
+        push(to, inc);
+        push(to, inc);
+        break;
+      case FaultInjector::Fate::kDeliver:
+        push(to, inc);
+        break;
+    }
+  }
+  deferred_.swap(deferred_next_);
+  // Adversarial intra-round delivery order: deterministic permutation of
+  // each touched inbox (the inbox holds exactly this round's deliveries —
+  // turns consume mail by swap, so nothing older can be shuffled in).
+  std::sort(touched_.begin(), touched_.end());
+  touched_.erase(std::unique(touched_.begin(), touched_.end()),
+                 touched_.end());
+  for (const NodeId to : touched_) {
+    if (const std::uint64_t s = fi.reorder_seed(round, to)) {
+      Rng rng(s);
+      rng.shuffle(inbox_[static_cast<std::size_t>(to)]);
     }
   }
   return delivered;
@@ -227,6 +365,16 @@ int Network::run(NodeProgram& prog, int max_rounds) {
   obs::ensure_env_metrics();
   active_sink_ = sink_ ? sink_ : global_trace_sink();
   if (active_sink_) active_sink_->on_run_begin(*g_);
+  active_fault_ = fault_ ? fault_ : global_fault_injector();
+  if (active_fault_) {
+    deferred_.clear();
+    deferred_next_.clear();
+    for (const NodeId v : crash_pending_) {
+      crash_pending_flag_[static_cast<std::size_t>(v)] = 0;
+    }
+    crash_pending_.clear();
+    active_fault_->on_run_begin(*g_);
+  }
 
   std::vector<NodeId> active = prog.initial_nodes(*g_);
   std::sort(active.begin(), active.end());
@@ -236,13 +384,20 @@ int Network::run(NodeProgram& prog, int max_rounds) {
   ctx.net_ = this;
 
   int round = 0;
-  while (!active.empty() && round < max_rounds) {
+  // Under faults the run must also outlast in-flight stalled messages and
+  // parked crashed nodes, which keep the network non-quiescent even with
+  // no node active this round.
+  while ((!active.empty() ||
+          (active_fault_ && (!deferred_.empty() || !crash_pending_.empty()))) &&
+         round < max_rounds) {
     active_next_.clear();
-    const int shards =
-        std::min<int>(cfg_.threads, static_cast<int>(active.size()));
     long long delivered = 0;
-    if (shards > 1 && static_cast<int>(active.size()) >=
-                          cfg_.min_active_to_parallelize) {
+    if (active_fault_) {
+      delivered = run_round_faulted(prog, round, active);
+    } else if (const int shards = std::min<int>(
+                   cfg_.threads, static_cast<int>(active.size()));
+               shards > 1 && static_cast<int>(active.size()) >=
+                                 cfg_.min_active_to_parallelize) {
       delivered = run_round_parallel(prog, round, active, shards);
     } else {
       staged_.clear();
@@ -275,6 +430,8 @@ int Network::run(NodeProgram& prog, int max_rounds) {
   }
   if (active_sink_) active_sink_->on_run_end(round, messages_sent_);
   active_sink_ = nullptr;
+  if (active_fault_) active_fault_->on_run_end();
+  active_fault_ = nullptr;
   return round;
 }
 

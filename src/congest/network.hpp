@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// Synchronous CONGEST network simulator: the round engine, its parallel
+/// executor, and the opt-in trace-sink and fault-injection hooks.
+
 // Synchronous CONGEST network simulator.
 //
 // The CONGEST model (§1): nodes run a synchronous, failure-free protocol;
@@ -18,6 +22,14 @@
 // outgoing messages are staged in per-shard buffers and merged in the
 // serial execution order, so a k-thread run is bit-identical to the serial
 // engine — same traces, same costs, same exceptions (DESIGN.md §7).
+//
+// The clean model can be bent on purpose: an opt-in FaultInjector hook
+// lets a deterministic fault plan drop, duplicate, stall or reorder
+// deliveries and crash/restart nodes at chosen rounds (src/faults/,
+// docs/FAULT_MODEL.md). With no injector installed the engine pays one
+// branch per round; with one installed, fault decisions are applied on the
+// coordinating thread in serial order, so runs stay bit-identical across
+// thread counts even under an active plan.
 
 #include <cstdint>
 #include <exception>
@@ -28,20 +40,23 @@
 
 namespace plansep::congest {
 
-using planar::DartId;
-using planar::EmbeddedGraph;
-using planar::NodeId;
+using planar::DartId;         ///< directed edge (dart) identifier
+using planar::EmbeddedGraph;  ///< embedded planar graph
+using planar::NodeId;         ///< node identifier
 
+/// One CONGEST message: a tag plus three 64-bit words — a fixed small
+/// number of machine words, i.e. O(log n) bits.
 struct Message {
-  std::uint8_t tag = 0;
-  std::int64_t a = 0;
-  std::int64_t b = 0;
-  std::int64_t c = 0;
+  std::uint8_t tag = 0;  ///< protocol-defined message kind
+  std::int64_t a = 0;    ///< first payload word
+  std::int64_t b = 0;    ///< second payload word
+  std::int64_t c = 0;    ///< third payload word
 };
 
+/// A delivered message as the recipient sees it.
 struct Incoming {
-  NodeId from = planar::kNoNode;
-  Message msg;
+  NodeId from = planar::kNoNode;  ///< sending neighbor
+  Message msg;                    ///< the message itself
 };
 
 class Network;
@@ -74,7 +89,8 @@ struct ShardBuf {
 /// internal locking as long as it observes a single network at a time.
 class TraceSink {
  public:
-  virtual ~TraceSink() = default;
+  virtual ~TraceSink() = default;  ///< virtual: deleted through base
+
   /// A fresh run() started on a network over g.
   virtual void on_run_begin(const EmbeddedGraph& g) { (void)g; }
   /// A message was accepted for delivery (after the bandwidth check).
@@ -101,7 +117,61 @@ class TraceSink {
 /// networks; callbacks themselves are sequenced by each run() as documented
 /// on TraceSink.
 TraceSink* set_global_trace_sink(TraceSink* sink);
+/// The current process-wide trace sink (nullptr when tracing is disabled).
 TraceSink* global_trace_sink();
+
+/// Fault-injection hook consulted by Network::run (opt-in; the seeded
+/// deterministic implementation is faults::FaultController, and the full
+/// fault taxonomy is specified in docs/FAULT_MODEL.md).
+///
+/// All queries are issued from the coordinating thread in deterministic
+/// serial order — crash decisions before the round's turns, delivery fates
+/// and reorder seeds after all turns (at the delivery stage) — so a
+/// k-thread run under an active injector stays bit-identical to the serial
+/// engine. Implementations must answer as pure functions of their own
+/// immutable state plus the query arguments (no wall clock, no per-call
+/// randomness) for that guarantee to extend to the injected faults.
+///
+/// When no injector is installed the engine pays exactly one branch per
+/// round for the feature.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;  ///< virtual: deleted through base
+
+  /// Delivery fate of one accepted message (see fate()).
+  enum class Fate : std::uint8_t {
+    kDeliver,    ///< deliver normally (readable next round)
+    kDrop,       ///< message is lost; the sender is not informed
+    kDuplicate,  ///< two copies land in the recipient's inbox
+    kStall,      ///< delivery is delayed by exactly one extra round
+  };
+
+  /// A fresh run() started on a network over g.
+  virtual void on_run_begin(const EmbeddedGraph& g) { (void)g; }
+  /// The run finished (quiescence or max_rounds). Not called when the
+  /// program throws; treat the next on_run_begin as an implicit end.
+  virtual void on_run_end() {}
+  /// True when v is crashed in `round`: it loses its turn and any pending
+  /// mail. The engine parks the node and grants it one wake-up turn (with
+  /// an empty inbox) in the first round the injector reports it alive —
+  /// the crash-restart contract of docs/FAULT_MODEL.md.
+  virtual bool crashed(int round, NodeId v) = 0;
+  /// Fate of the message accepted on from→to in `round`. Queried once per
+  /// accepted message, at the delivery stage.
+  virtual Fate fate(int round, NodeId from, NodeId to) = 0;
+  /// Nonzero: deterministically shuffle the inbox `to` received this round
+  /// with this seed (adversarial intra-round delivery order). Zero: keep
+  /// the canonical serial delivery order.
+  virtual std::uint64_t reorder_seed(int round, NodeId to) = 0;
+};
+
+/// Installs a process-wide fault injector that every Network picks up at
+/// run() time unless it has its own (set_fault_injector). Returns the
+/// previous injector; pass nullptr to detach. Atomic publish, like
+/// set_global_trace_sink.
+FaultInjector* set_global_fault_injector(FaultInjector* injector);
+/// The current process-wide injector (nullptr when faults are disabled).
+FaultInjector* global_fault_injector();
 
 /// Round-execution parallelism knobs.
 struct ThreadConfig {
@@ -117,6 +187,7 @@ struct ThreadConfig {
 /// once from the environment: PLANSEP_THREADS (shards) and
 /// PLANSEP_PAR_THRESHOLD (min active nodes). Returns the previous config.
 ThreadConfig set_default_thread_config(const ThreadConfig& cfg);
+/// The current process-wide default thread configuration.
 ThreadConfig default_thread_config();
 
 /// RAII override of the process default — the way tests force pipelines
@@ -124,11 +195,12 @@ ThreadConfig default_thread_config();
 /// path. Restores the previous default on destruction.
 class ScopedThreadConfig {
  public:
+  /// Installs cfg as the process default for the scope's lifetime.
   explicit ScopedThreadConfig(const ThreadConfig& cfg)
       : prev_(set_default_thread_config(cfg)) {}
-  ~ScopedThreadConfig() { set_default_thread_config(prev_); }
-  ScopedThreadConfig(const ScopedThreadConfig&) = delete;
-  ScopedThreadConfig& operator=(const ScopedThreadConfig&) = delete;
+  ~ScopedThreadConfig() { set_default_thread_config(prev_); }  ///< restores
+  ScopedThreadConfig(const ScopedThreadConfig&) = delete;  ///< non-copyable
+  ScopedThreadConfig& operator=(const ScopedThreadConfig&) = delete;  ///< non-copyable
 
  private:
   ThreadConfig prev_;
@@ -146,6 +218,7 @@ class Ctx {
 
   /// This node's id.
   NodeId self() const { return self_; }
+  /// The current round number (0-based).
   int round() const { return round_; }
 
  private:
@@ -156,9 +229,11 @@ class Ctx {
   int round_ = 0;
 };
 
+/// A distributed protocol: per-node round handlers over shared-nothing
+/// per-node state, exactly the CONGEST programming model.
 class NodeProgram {
  public:
-  virtual ~NodeProgram() = default;
+  virtual ~NodeProgram() = default;  ///< virtual: deleted through base
 
   /// Nodes that must act in round 0 (e.g. the BFS root). Runs on the
   /// coordinating thread; whole-program state is set up here.
@@ -176,23 +251,33 @@ class NodeProgram {
                      Ctx& ctx) = 0;
 };
 
+/// The simulator: executes NodeProgram rounds over an embedded graph with
+/// the one-message-per-edge-per-round budget enforced.
 class Network {
  public:
+  /// A network over g; g must outlive the network.
   explicit Network(const EmbeddedGraph& g);
 
   /// Runs prog until quiescence; returns the number of rounds executed.
   int run(NodeProgram& prog, int max_rounds = 1 << 26);
 
+  /// Messages accepted during the last run().
   long long messages_sent() const { return messages_sent_; }
+  /// The graph this network simulates on.
   const EmbeddedGraph& graph() const { return *g_; }
 
   /// Instance-level trace sink; overrides the global one. nullptr detaches.
   void set_trace_sink(TraceSink* sink) { sink_ = sink; }
 
+  /// Instance-level fault injector; overrides the global one. nullptr
+  /// detaches. Resolved (instance, then global) once at run() entry.
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+
   /// Shards rounds over k threads (k >= 1; 1 = serial engine). Runs are
   /// bit-identical for every k. The construction-time default comes from
   /// default_thread_config().
   void set_threads(int k);
+  /// The current shard count (1 = serial engine).
   int threads() const { return cfg_.threads; }
   /// Minimum active nodes for a round to go parallel (see ThreadConfig).
   void set_min_active_to_parallelize(int min_active);
@@ -203,12 +288,19 @@ class Network {
   void do_send(NodeId from, NodeId to, const Message& msg, int round);
   void do_send_staged(detail::ShardBuf& buf, NodeId from, NodeId to,
                       const Message& msg, int round);
+  void parallel_turns(NodeProgram& prog, int round,
+                      const std::vector<NodeId>& active, int shards);
   long long run_round_parallel(NodeProgram& prog, int round,
                                const std::vector<NodeId>& active, int shards);
+  long long run_round_faulted(NodeProgram& prog, int round,
+                              const std::vector<NodeId>& active);
+  long long deliver_faulted(int round);
 
   const EmbeddedGraph* g_;
   TraceSink* sink_ = nullptr;
   TraceSink* active_sink_ = nullptr;  // resolved at run() entry
+  FaultInjector* fault_ = nullptr;
+  FaultInjector* active_fault_ = nullptr;  // resolved at run() entry
   ThreadConfig cfg_;
   long long messages_sent_ = 0;
   // Per-round delivery state.
@@ -219,6 +311,13 @@ class Network {
   std::vector<detail::ShardBuf> shard_bufs_;  // pooled parallel staging
   // Per (from -> to) sent-this-round guard, keyed by dart id.
   std::vector<int> sent_round_;
+  // Fault-path state (touched only while a FaultInjector is active).
+  std::vector<std::pair<NodeId, Incoming>> deferred_;       // arriving this round
+  std::vector<std::pair<NodeId, Incoming>> deferred_next_;  // stalled this round
+  std::vector<NodeId> faulted_active_;  // this round's survivors + restarts
+  std::vector<NodeId> crash_pending_;   // parked until their crash ends
+  std::vector<char> crash_pending_flag_;
+  std::vector<NodeId> touched_;  // inboxes delivered to (reorder targets)
 };
 
 }  // namespace plansep::congest

@@ -1,0 +1,123 @@
+#include "faults/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace plansep::faults {
+
+namespace {
+
+// Stream tags keep the decision families statistically independent even
+// though they share one seed.
+constexpr std::uint64_t kDropStream = 0x64726f700a0a0a01ULL;
+constexpr std::uint64_t kCrashStream = 0x63726173680a0a02ULL;
+constexpr std::uint64_t kReorderStream = 0x72656f7264657203ULL;
+constexpr std::uint64_t kOutageStream = 0x6f75746167650a04ULL;
+
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform [0, 1) from the hash's top 53 bits.
+double unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                       std::uint64_t c) {
+  std::uint64_t h = splitmix(seed ^ a);
+  h = splitmix(h ^ b);
+  return splitmix(h ^ c);
+}
+
+std::uint64_t topology_fingerprint(const EmbeddedGraph& g) {
+  std::uint64_t h = mix_seed(0x746f706f6c6f6779ULL,
+                             static_cast<std::uint64_t>(g.num_nodes()),
+                             static_cast<std::uint64_t>(g.num_darts()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const planar::DartId d : g.rotation(v)) {
+      h = splitmix(h ^ static_cast<std::uint64_t>(g.head(d)));
+    }
+  }
+  return h;
+}
+
+std::string FaultSpec::describe() const {
+  std::ostringstream os;
+  bool any = false;
+  const auto put = [&](const char* name, double p) {
+    if (p <= 0) return;
+    if (any) os << ' ';
+    os << name << '=' << p;
+    any = true;
+  };
+  put("drop", drop_prob);
+  put("dup", duplicate_prob);
+  put("stall", stall_prob);
+  put("reorder", reorder_prob);
+  if (crash_prob > 0) {
+    if (any) os << ' ';
+    os << "crash=" << crash_prob << "/len" << crash_length << "/win"
+       << window_rounds;
+    any = true;
+  }
+  if (edge_outage_prob > 0) {
+    if (any) os << ' ';
+    os << "outage=" << edge_outage_prob << "/win" << window_rounds;
+    any = true;
+  }
+  if (!any) os << "empty";
+  return os.str();
+}
+
+bool FaultPlan::crashed(int round, NodeId v) const {
+  if (spec_.crash_prob <= 0) return false;
+  const int window = round / spec_.window_rounds;
+  if (round % spec_.window_rounds >= spec_.crash_length) return false;
+  const std::uint64_t h =
+      mix_seed(seed_, kCrashStream, static_cast<std::uint64_t>(v),
+               static_cast<std::uint64_t>(window));
+  return unit(h) < spec_.crash_prob;
+}
+
+congest::FaultInjector::Fate FaultPlan::fate(int round, NodeId from,
+                                             NodeId to) const {
+  using Fate = congest::FaultInjector::Fate;
+  if (spec_.edge_outage_prob > 0) {
+    // Keyed by the undirected edge and the scheduling window, so an
+    // outage silences the link in both directions for the whole window.
+    const std::uint64_t lo = static_cast<std::uint64_t>(std::min(from, to));
+    const std::uint64_t hi = static_cast<std::uint64_t>(std::max(from, to));
+    const std::uint64_t h =
+        mix_seed(seed_, kOutageStream, (lo << 32) | hi,
+                 static_cast<std::uint64_t>(round / spec_.window_rounds));
+    if (unit(h) < spec_.edge_outage_prob) return Fate::kDrop;
+  }
+  const double iid = spec_.drop_prob + spec_.duplicate_prob + spec_.stall_prob;
+  if (iid <= 0) return Fate::kDeliver;
+  const std::uint64_t h = mix_seed(
+      seed_, kDropStream,
+      (static_cast<std::uint64_t>(from) << 32) | static_cast<std::uint64_t>(to),
+      static_cast<std::uint64_t>(round));
+  const double u = unit(h);
+  if (u < spec_.drop_prob) return Fate::kDrop;
+  if (u < spec_.drop_prob + spec_.duplicate_prob) return Fate::kDuplicate;
+  if (u < iid) return Fate::kStall;
+  return Fate::kDeliver;
+}
+
+std::uint64_t FaultPlan::reorder_seed(int round, NodeId to) const {
+  if (spec_.reorder_prob <= 0) return 0;
+  const std::uint64_t h =
+      mix_seed(seed_, kReorderStream, static_cast<std::uint64_t>(to),
+               static_cast<std::uint64_t>(round));
+  if (unit(h) >= spec_.reorder_prob) return 0;
+  return h | 1;  // nonzero by construction
+}
+
+}  // namespace plansep::faults

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file
+/// Recovery drivers: retry/backoff wrappers that run the separator and
+/// DFS pipelines to a validated result under an active fault plan.
+
+// Recovery drivers: retry/backoff wrappers around the separator and DFS
+// pipelines for execution under an active fault plan.
+//
+// The paper's protocols assume the failure-free CONGEST model; under an
+// injected fault plan a stage can fail in exactly two observable ways —
+// it throws (a protocol invariant broke mid-run, e.g. the BFS wave left
+// the graph "disconnected") or it completes with output that violates the
+// stage's validator (dfs/validate.hpp, separator/validate.hpp). The
+// drivers here detect both, charge an exponential backoff to the round
+// ledger (both the measured and charged columns, mirrored into the obs
+// clock), and re-run the stage from scratch. Because FaultController
+// reseeds its plan per run epoch, a retry faces fresh faults; a plan the
+// algorithm can survive is eventually survived, and a plan it cannot is
+// reported with the last attempt's diagnosis — never silently.
+
+#include <optional>
+#include <string>
+
+#include "dfs/builder.hpp"
+#include "separator/engine.hpp"
+
+namespace plansep::faults {
+
+/// Retry/backoff knobs of a recovery driver.
+struct RetryPolicy {
+  /// Attempts before giving up (>= 1).
+  int max_attempts = 4;
+  /// Backoff charged after failed attempt k (1-based) is
+  /// `backoff_base_rounds << (k-1)` rounds, on both ledgers.
+  long long backoff_base_rounds = 32;
+};
+
+/// Outcome of a recovery driver: how hard it had to try, and why it gave
+/// up when it did.
+struct RetryStats {
+  /// The final attempt's output passed the stage validator.
+  bool ok = false;
+  /// Attempts consumed (1 = clean first try).
+  int attempts = 0;
+  /// Total backoff rounds charged across failed attempts.
+  long long backoff_rounds = 0;
+  /// Diagnosis of the last failed attempt ("" when ok): the validator's
+  /// summary or the thrown exception's message.
+  std::string failure;
+};
+
+/// Result of build_dfs_tree_with_recovery. `build` is engaged iff
+/// recovery.ok.
+struct RecoveredDfs {
+  std::optional<dfs::DfsBuildResult> build;  ///< the validated DFS build
+  RetryStats recovery;                       ///< how recovery went
+  /// Everything: successful attempt + failed attempts' charges + backoff.
+  shortcuts::RoundCost cost;
+};
+
+/// Builds a DFS tree of connected g rooted at `root` (Theorem 2),
+/// re-running the whole phase pipeline — fresh PartwiseEngine included,
+/// since its BFS tree is itself fault-exposed — until dfs::check_dfs_tree
+/// passes or the policy's attempts are exhausted.
+RecoveredDfs build_dfs_tree_with_recovery(const planar::EmbeddedGraph& g,
+                                          planar::NodeId root,
+                                          const RetryPolicy& policy = {});
+
+/// Result of compute_separator_with_recovery. `result` is engaged iff
+/// recovery.ok.
+struct RecoveredSeparator {
+  std::optional<separator::SeparatorResult> result;  ///< validated separator
+  RetryStats recovery;        ///< how recovery went
+  shortcuts::RoundCost cost;  ///< attempts + backoff, both ledgers
+};
+
+/// Computes a cycle separator of connected g as one part (Theorem 1),
+/// re-running setup + part build + engine until separator::check_separator
+/// passes or the policy's attempts are exhausted.
+RecoveredSeparator compute_separator_with_recovery(
+    const planar::EmbeddedGraph& g, planar::NodeId root,
+    const RetryPolicy& policy = {});
+
+}  // namespace plansep::faults

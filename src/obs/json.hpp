@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// Deterministic JSON emission: the streaming JsonWriter used by the
+/// exporters and the flat RowsJson schema every bench binary emits.
+
 // Deterministic JSON emission for the observability subsystem and the bench
 // harness. Two layers:
 //
@@ -64,28 +68,29 @@ inline std::string json_number(double v) {
 /// begin/end) — PLANSEP-internal use only, not a general serializer.
 class JsonWriter {
  public:
-  JsonWriter& begin_object() {
+  JsonWriter& begin_object() {  ///< opens {
     pre_value();
     out_ += '{';
     stack_.push_back(false);
     return *this;
   }
-  JsonWriter& end_object() {
+  JsonWriter& end_object() {  ///< closes }
     out_ += '}';
     stack_.pop_back();
     return *this;
   }
-  JsonWriter& begin_array() {
+  JsonWriter& begin_array() {  ///< opens [
     pre_value();
     out_ += '[';
     stack_.push_back(false);
     return *this;
   }
-  JsonWriter& end_array() {
+  JsonWriter& end_array() {  ///< closes ]
     out_ += ']';
     stack_.pop_back();
     return *this;
   }
+  /// Emits an object key; the next call supplies its value.
   JsonWriter& key(std::string_view k) {
     pre_value();
     out_ += json_quote(k);
@@ -93,28 +98,32 @@ class JsonWriter {
     key_pending_ = true;
     return *this;
   }
+  /// Emits an integer value.
   JsonWriter& value(long long v) {
     pre_value();
     out_ += std::to_string(v);
     return *this;
   }
-  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }  ///< int
+  /// Emits a number (non-finite renders as null).
   JsonWriter& value(double v) {
     pre_value();
     out_ += json_number(v);
     return *this;
   }
+  /// Emits true/false.
   JsonWriter& value(bool v) {
     pre_value();
     out_ += v ? "true" : "false";
     return *this;
   }
+  /// Emits a quoted, escaped string.
   JsonWriter& value(std::string_view v) {
     pre_value();
     out_ += json_quote(v);
     return *this;
   }
-  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }  ///< string
   /// Splices a pre-rendered JSON fragment in value position.
   JsonWriter& raw(std::string_view fragment) {
     pre_value();
@@ -122,6 +131,7 @@ class JsonWriter {
     return *this;
   }
 
+  /// The document rendered so far.
   const std::string& str() const { return out_; }
 
  private:
@@ -143,32 +153,36 @@ class JsonWriter {
 
 // ----------------------------------------------------------- bench rows --
 
+/// The row-oriented JSON document bench binaries emit:
+/// {"bench": name, "schema": 1, "rows": [{...}, ...]}. Rows keep
+/// insertion order; rendering is byte-deterministic.
 class RowsJson {
  public:
-  explicit RowsJson(std::string name) : name_(std::move(name)) {}
+  explicit RowsJson(std::string name) : name_(std::move(name)) {}  ///< bench name
 
+  /// One output row: ordered key→value pairs set fluently.
   class Row {
    public:
-    Row& set(const char* key, long long v) {
+    Row& set(const char* key, long long v) {  ///< integer cell
       kv_.emplace_back(key, std::to_string(v));
       return *this;
     }
-    Row& set(const char* key, int v) {
+    Row& set(const char* key, int v) {  ///< integer cell
       return set(key, static_cast<long long>(v));
     }
-    Row& set(const char* key, double v) {
+    Row& set(const char* key, double v) {  ///< numeric cell
       kv_.emplace_back(key, json_number(v));
       return *this;
     }
-    Row& set(const char* key, bool v) {
+    Row& set(const char* key, bool v) {  ///< boolean cell
       kv_.emplace_back(key, v ? "true" : "false");
       return *this;
     }
-    Row& set(const char* key, const std::string& v) {
+    Row& set(const char* key, const std::string& v) {  ///< string cell
       kv_.emplace_back(key, json_quote(v));
       return *this;
     }
-    Row& set(const char* key, const char* v) { return set(key, std::string(v)); }
+    Row& set(const char* key, const char* v) { return set(key, std::string(v)); }  ///< string cell
 
    private:
     friend class RowsJson;
@@ -181,8 +195,9 @@ class RowsJson {
     return rows_.back();
   }
 
-  std::size_t row_count() const { return rows_.size(); }
+  std::size_t row_count() const { return rows_.size(); }  ///< rows so far
 
+  /// Renders the whole document as a JSON string.
   std::string render() const {
     std::string out = "{\"bench\": " + json_quote(name_) + ", \"schema\": 1";
     out += ", \"rows\": [";

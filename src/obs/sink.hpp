@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// Bridges the CONGEST engine's TraceSink hook to a MetricsRegistry
+/// (ScopedMetrics RAII scope and the PLANSEP_METRICS env bootstrap).
+
 // Bridges the CONGEST engine's TraceSink hook to a MetricsRegistry, and the
 // two ways the bridge is installed:
 //
@@ -29,13 +33,18 @@
 
 namespace plansep::obs {
 
+/// TraceSink that feeds a MetricsRegistry: round clock, message counter,
+/// per-round activity histograms/samples, and the per-run per-edge load
+/// histogram ("congest/edge_load") folded at run end.
 class MetricsSink final : public congest::TraceSink {
  public:
+  /// A sink feeding reg; reg must outlive the sink.
   explicit MetricsSink(MetricsRegistry& reg) : reg_(&reg) {}
 
   /// Downstream sink every event is forwarded to (may be null). Lets a
   /// metrics scope stack on top of an existing trace recorder.
   void set_next(congest::TraceSink* next) { next_ = next; }
+  /// The chained downstream sink, or nullptr.
   congest::TraceSink* next() const { return next_; }
 
   void on_run_begin(const planar::EmbeddedGraph& g) override;
@@ -68,6 +77,8 @@ void ensure_env_metrics();
 /// constructing thread, like any registry use.
 class ScopedMetrics {
  public:
+  /// Installs reg globally and chains a MetricsSink over the current
+  /// global trace sink for the lifetime of the scope.
   explicit ScopedMetrics(MetricsRegistry& reg) : sink_(reg) {
     // Settle the PLANSEP_METRICS bootstrap first: the env pair must sit
     // below this scope, not install itself on top mid-scope (the first
@@ -77,14 +88,16 @@ class ScopedMetrics {
     prev_registry_ = set_global_registry(&reg);
     sink_.set_next(congest::set_global_trace_sink(&sink_));
   }
+  /// Restores the previous sink/registry and folds pending run state.
   ~ScopedMetrics() {
     congest::set_global_trace_sink(sink_.next());
     set_global_registry(prev_registry_);
     sink_.finalize();
   }
-  ScopedMetrics(const ScopedMetrics&) = delete;
-  ScopedMetrics& operator=(const ScopedMetrics&) = delete;
+  ScopedMetrics(const ScopedMetrics&) = delete;             ///< non-copyable
+  ScopedMetrics& operator=(const ScopedMetrics&) = delete;  ///< non-copyable
 
+  /// The scope's bridging sink (e.g. to inspect the chain in tests).
   MetricsSink& sink() { return sink_; }
 
  private:

@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// Exporters: metrics JSON and Chrome trace-event JSON (loadable by
+/// ui.perfetto.dev and chrome://tracing).
+
 // Exporters: metrics JSON and Chrome trace-event JSON (the format
 // ui.perfetto.dev and chrome://tracing load natively).
 //

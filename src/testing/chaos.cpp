@@ -1,0 +1,155 @@
+#include "testing/chaos.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "testing/trace.hpp"
+
+namespace plansep::testing {
+
+namespace {
+
+using planar::NodeId;
+
+// Centralized, network-free balance check of a recovered separator:
+// the marked path must be node-simple and every component of G − path
+// must have at most 2n/3 nodes. Independent of the distributed state the
+// recovery driver validated against, so a corrupted PartSet cannot vouch
+// for itself.
+void cross_check_separator(const planar::EmbeddedGraph& g,
+                           const separator::PartSeparator& sep,
+                           InvariantReport& rep) {
+  const int n = g.num_nodes();
+  std::vector<NodeId> path = sep.path;
+  std::sort(path.begin(), path.end());
+  if (std::adjacent_find(path.begin(), path.end()) != path.end()) {
+    rep.fail("chaos/separator: recovered path repeats a node");
+    return;
+  }
+  std::vector<char> removed(static_cast<std::size_t>(n), 0);
+  for (const NodeId v : sep.path) removed[static_cast<std::size_t>(v)] = 1;
+  std::vector<int> comp(static_cast<std::size_t>(n), -1);
+  std::vector<NodeId> queue;
+  for (NodeId s = 0; s < n; ++s) {
+    if (removed[static_cast<std::size_t>(s)] ||
+        comp[static_cast<std::size_t>(s)] >= 0) {
+      continue;
+    }
+    long long size = 0;
+    comp[static_cast<std::size_t>(s)] = s;
+    queue.assign(1, s);
+    while (!queue.empty()) {
+      const NodeId v = queue.back();
+      queue.pop_back();
+      ++size;
+      for (const NodeId w : g.neighbors(v)) {
+        if (removed[static_cast<std::size_t>(w)] ||
+            comp[static_cast<std::size_t>(w)] >= 0) {
+          continue;
+        }
+        comp[static_cast<std::size_t>(w)] = s;
+        queue.push_back(w);
+      }
+    }
+    if (3 * size > 2LL * n) {
+      rep.fail("chaos/separator: component of " + std::to_string(size) +
+               " nodes exceeds 2n/3 (n=" + std::to_string(n) + ")");
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+faults::FaultSpec fault_spec_for(FaultFamily family) {
+  faults::FaultSpec spec;
+  switch (family) {
+    case FaultFamily::kNone:
+      break;
+    case FaultFamily::kDrops:
+      spec.drop_prob = 0.03;
+      break;
+    case FaultFamily::kDuplicates:
+      spec.duplicate_prob = 0.1;
+      break;
+    case FaultFamily::kReorder:
+      spec.reorder_prob = 1.0;
+      break;
+    case FaultFamily::kCrashes:
+      spec.crash_prob = 0.05;
+      break;
+    case FaultFamily::kStalls:
+      spec.stall_prob = 0.1;
+      break;
+    case FaultFamily::kOutages:
+      spec.edge_outage_prob = 0.05;
+      break;
+    case FaultFamily::kChaos:
+      spec.drop_prob = 0.015;
+      spec.duplicate_prob = 0.05;
+      spec.stall_prob = 0.05;
+      spec.reorder_prob = 0.5;
+      spec.crash_prob = 0.025;
+      spec.edge_outage_prob = 0.025;
+      break;
+  }
+  return spec;
+}
+
+ChaosStats run_pipeline_chaos(const Instance& inst, const ChaosOptions& opt,
+                              InvariantReport& rep) {
+  ChaosStats st;
+  const auto& g = inst.gg.graph;
+  const NodeId root = inst.gg.root_hint;
+
+  // Precondition gate, not a property: the pipeline is only specified for
+  // connected plane graphs, faults or not.
+  {
+    InvariantReport gate;
+    check_embedding(g, /*require_connected=*/true, gate);
+    if (!gate.ok()) return st;
+  }
+
+  faults::FaultController ctl(fault_spec_for(inst.spec.faults),
+                              inst.spec.seed);
+  TraceRecorder rec;
+  {
+    std::optional<ScopedTraceCapture> cap;
+    if (opt.capture_trace) cap.emplace(rec);
+    faults::ScopedFaultInjection inject(ctl);
+
+    const faults::RecoveredSeparator sep =
+        faults::compute_separator_with_recovery(g, root, opt.policy);
+    st.separator_survived = sep.recovery.ok;
+    st.separator_attempts = sep.recovery.attempts;
+    if (sep.recovery.ok) {
+      cross_check_separator(g, sep.result->parts.at(0), rep);
+    } else if (sep.recovery.failure.empty()) {
+      rep.fail("chaos/separator: failed without a diagnosis");
+    }
+
+    if (opt.run_dfs) {
+      const faults::RecoveredDfs d =
+          faults::build_dfs_tree_with_recovery(g, root, opt.policy);
+      st.dfs_survived = d.recovery.ok;
+      st.dfs_attempts = d.recovery.attempts;
+      if (d.recovery.ok) {
+        // Independent centralized DFS oracle over the recovered tree.
+        check_dfs_tree_oracle(g, d.build->tree, rep);
+      } else if (d.recovery.failure.empty()) {
+        rep.fail("chaos/dfs: failed without a diagnosis");
+      }
+    }
+  }
+  st.injected = ctl.counters().injected();
+  if (opt.capture_trace) {
+    st.trace_messages = rec.total_messages();
+    // Faults act on *accepted* sends, so the bandwidth discipline must
+    // survive every plan.
+    check_bandwidth(g, rec.events(), rep);
+  }
+  return st;
+}
+
+}  // namespace plansep::testing

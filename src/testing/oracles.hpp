@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// Centralized invariant oracles: from-scratch re-checks of the paper's
+/// structural guarantees, accumulated into an InvariantReport.
+
 // Centralized invariant oracles for the property-based harness.
 //
 // Each oracle re-checks one of the paper's structural guarantees from
@@ -39,9 +43,12 @@
 
 namespace plansep::testing {
 
+/// Accumulates invariant violations instead of throwing, so one failing
+/// case reports every broken invariant at once.
 struct InvariantReport {
-  std::vector<std::string> violations;
-  bool ok() const { return violations.empty(); }
+  std::vector<std::string> violations;  ///< one entry per violated invariant
+  bool ok() const { return violations.empty(); }  ///< nothing violated?
+  /// Records one violation.
   void fail(std::string what) { violations.push_back(std::move(what)); }
   /// Newline-joined violation list ("" when ok).
   std::string to_string() const;
@@ -89,11 +96,13 @@ void check_bandwidth(const planar::EmbeddedGraph& g,
 /// Constants are calibrated to current measurements (see the proptest
 /// suites); the factor 2 is the allowed regression headroom.
 struct RoundEnvelope {
-  double per_d_log2n = 1.0;
-  long long floor_rounds = 64;
+  double per_d_log2n = 1.0;     ///< budget multiplier on (D+1)·log²(n+2)
+  long long floor_rounds = 64;  ///< small-n constant floor
+  /// The budget before the 2× regression headroom is applied.
   long long budget(int diameter, int n) const;
 };
 
+/// Fails the report when `rounds` exceeds twice the envelope's budget.
 void check_round_envelope(const char* stage, long long rounds, int diameter,
                           int n, const RoundEnvelope& env,
                           InvariantReport& rep);

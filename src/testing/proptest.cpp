@@ -111,12 +111,39 @@ std::optional<Mutation> mutation_from_name(std::string_view name) {
   return std::nullopt;
 }
 
+const char* fault_family_name(FaultFamily f) {
+  switch (f) {
+    case FaultFamily::kNone: return "none";
+    case FaultFamily::kDrops: return "drops";
+    case FaultFamily::kDuplicates: return "dups";
+    case FaultFamily::kReorder: return "reorder";
+    case FaultFamily::kCrashes: return "crashes";
+    case FaultFamily::kStalls: return "stalls";
+    case FaultFamily::kOutages: return "outages";
+    case FaultFamily::kChaos: return "chaos";
+  }
+  return "?";
+}
+
+std::optional<FaultFamily> fault_family_from_name(std::string_view name) {
+  for (FaultFamily f :
+       {FaultFamily::kNone, FaultFamily::kDrops, FaultFamily::kDuplicates,
+        FaultFamily::kReorder, FaultFamily::kCrashes, FaultFamily::kStalls,
+        FaultFamily::kOutages, FaultFamily::kChaos}) {
+    if (name == fault_family_name(f)) return f;
+  }
+  return std::nullopt;
+}
+
 std::string CaseSpec::replay() const {
   std::ostringstream os;
   os << "--seed=" << seed << " --family=" << planar::family_name(family)
      << " --n=" << n;
   if (mutation != Mutation::kNone) {
     os << " --mutation=" << mutation_name(mutation);
+  }
+  if (faults != FaultFamily::kNone) {
+    os << " --faults=" << fault_family_name(faults);
   }
   return os.str();
 }
@@ -150,6 +177,10 @@ std::optional<CaseSpec> parse_replay(std::string_view line) {
       const auto m = mutation_from_name(val);
       if (!m) return std::nullopt;
       spec.mutation = *m;
+    } else if (key == "faults") {
+      const auto f = fault_family_from_name(val);
+      if (!f) return std::nullopt;
+      spec.faults = *f;
     } else {
       return std::nullopt;
     }
@@ -328,8 +359,9 @@ InvariantReport run_one(const CaseSpec& spec, const Property& prop) {
 namespace {
 
 // Greedy shrink: keep adopting the first smaller variant that still fails
-// (drop the mutation, then shrink n) until nothing smaller fails or the
-// budget runs out. Deterministic — candidates keep the original seed.
+// (drop the faults, simplify chaos to a single fault kind, drop the
+// mutation, then shrink n) until nothing smaller fails or the budget runs
+// out. Deterministic — candidates keep the original seed.
 CaseSpec shrink_failure(const CaseSpec& spec, const Property& prop, int budget,
                         std::string& report_out) {
   CaseSpec cur = spec;
@@ -337,6 +369,24 @@ CaseSpec shrink_failure(const CaseSpec& spec, const Property& prop, int budget,
   while (improved && budget > 0) {
     improved = false;
     std::vector<CaseSpec> candidates;
+    if (cur.faults != FaultFamily::kNone) {
+      // A failure that persists without faults is an algorithmic bug, not
+      // a fault-tolerance one — by far the more valuable reduction, so it
+      // is tried first.
+      CaseSpec c = cur;
+      c.faults = FaultFamily::kNone;
+      candidates.push_back(c);
+      if (cur.faults == FaultFamily::kChaos) {
+        for (FaultFamily f :
+             {FaultFamily::kDrops, FaultFamily::kDuplicates,
+              FaultFamily::kReorder, FaultFamily::kCrashes,
+              FaultFamily::kStalls, FaultFamily::kOutages}) {
+          c = cur;
+          c.faults = f;
+          candidates.push_back(c);
+        }
+      }
+    }
     if (cur.mutation != Mutation::kNone) {
       CaseSpec c = cur;
       c.mutation = Mutation::kNone;
@@ -400,6 +450,13 @@ PropResult run_property(const std::string& name, const PropConfig& cfg,
                                 Mutation::kDegenerateWeights,
                                 Mutation::kCombined};
       spec.mutation = kinds[rng.next_below(4)];
+    }
+    // Drawn only for fault-aware suites: an empty fault_families leaves the
+    // seed stream exactly as it was, so pre-existing suites replay
+    // bit-for-bit.
+    if (!cfg.fault_families.empty() && rng.next_bool(cfg.fault_probability)) {
+      spec.faults = cfg.fault_families[static_cast<std::size_t>(rng.next_below(
+          static_cast<std::uint64_t>(cfg.fault_families.size())))];
     }
     const InvariantReport rep = run_one(spec, prop);
     ++out.cases_run;

@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// CONGEST message-trace capture: TraceRecorder, trace diffing, and the
+/// ScopedTraceCapture RAII installer.
+
 // CONGEST message-trace capture.
 //
 // An opt-in recorder that hooks into congest::Network (TraceSink) and
@@ -22,28 +26,33 @@
 
 namespace plansep::testing {
 
+/// One captured message send.
 struct TraceEvent {
-  int run = 0;    // index of the Network::run this message belongs to
-  int round = 0;  // round within that run
-  congest::NodeId from = planar::kNoNode;
-  congest::NodeId to = planar::kNoNode;
-  congest::Message msg;
+  int run = 0;    ///< index of the Network::run this message belongs to
+  int round = 0;  ///< round within that run
+  congest::NodeId from = planar::kNoNode;  ///< sender
+  congest::NodeId to = planar::kNoNode;    ///< recipient
+  congest::Message msg;                    ///< the payload
 };
 
+/// Field-wise equality.
 bool operator==(const TraceEvent& a, const TraceEvent& b);
 
+/// TraceSink that stores every message of every run it observes, in the
+/// deterministic acceptance order the engine replays.
 class TraceRecorder : public congest::TraceSink {
  public:
   void on_run_begin(const congest::EmbeddedGraph& g) override;
   void on_send(int round, congest::NodeId from, congest::NodeId to,
                const congest::Message& msg) override;
 
+  /// All captured events in acceptance order.
   const std::vector<TraceEvent>& events() const { return events_; }
-  long long total_messages() const {
+  long long total_messages() const {  ///< captured event count
     return static_cast<long long>(events_.size());
   }
-  int runs() const { return runs_; }
-  void clear();
+  int runs() const { return runs_; }  ///< Network::run calls observed
+  void clear();                       ///< drops all captured state
 
   /// "run=0 r=12 3->4 tag=7 a=1 b=0 c=0"
   static std::string format(const TraceEvent& e);
@@ -66,10 +75,10 @@ std::string diff_traces(const std::vector<TraceEvent>& a,
 /// previous sink on destruction.
 class ScopedTraceCapture {
  public:
-  explicit ScopedTraceCapture(TraceRecorder& rec);
-  ~ScopedTraceCapture();
-  ScopedTraceCapture(const ScopedTraceCapture&) = delete;
-  ScopedTraceCapture& operator=(const ScopedTraceCapture&) = delete;
+  explicit ScopedTraceCapture(TraceRecorder& rec);  ///< installs rec
+  ~ScopedTraceCapture();                            ///< restores previous
+  ScopedTraceCapture(const ScopedTraceCapture&) = delete;  ///< non-copyable
+  ScopedTraceCapture& operator=(const ScopedTraceCapture&) = delete;  ///< non-copyable
 
  private:
   congest::TraceSink* prev_;

@@ -1,0 +1,154 @@
+// Property-based chaos sweep: every algorithm in the pipeline must either
+// survive an injected fault plan (output validated by independent
+// centralized oracles) or fail loudly with a diagnosable report — never
+// silently corrupt. Sweeps every fault family of testing/chaos.hpp over
+// seeded planar instances.
+//
+// CI hooks (see .github/workflows/ci.yml, job faults-tier1):
+//   PLANSEP_PROPTEST_SEED       overrides the base seed, so a fixed seed
+//                               matrix widens coverage across CI shards;
+//   PLANSEP_FAULT_REPLAY_OUT    file that failing replay lines are
+//                               appended to, uploaded as a CI artifact.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "testing/chaos.hpp"
+#include "testing/proptest.hpp"
+
+namespace plansep::testing {
+namespace {
+
+std::uint64_t base_seed_from_env(std::uint64_t fallback) {
+  const char* s = std::getenv("PLANSEP_PROPTEST_SEED");
+  if (s == nullptr || *s == '\0') return fallback;
+  return std::strtoull(s, nullptr, 10);
+}
+
+// Appends each failure's one-line replay command to the file named by
+// PLANSEP_FAULT_REPLAY_OUT (no-op when unset) so CI can upload them.
+void export_replay_lines(const PropResult& res) {
+  const char* path = std::getenv("PLANSEP_FAULT_REPLAY_OUT");
+  if (path == nullptr || *path == '\0' || res.ok()) return;
+  std::ofstream out(path, std::ios::app);
+  for (const Failure& f : res.failures) out << f.replay << "\n";
+}
+
+std::vector<FaultFamily> all_fault_families() {
+  return {FaultFamily::kDrops,   FaultFamily::kDuplicates,
+          FaultFamily::kReorder, FaultFamily::kCrashes,
+          FaultFamily::kStalls,  FaultFamily::kOutages,
+          FaultFamily::kChaos};
+}
+
+TEST(ProptestFaults, EveryFamilySurvivesOrFailsLoudly) {
+  // The headline sweep: mixed fault families over mixed graph families.
+  PropConfig cfg;
+  cfg.cases = 48;
+  cfg.min_n = 12;
+  cfg.max_n = 56;
+  cfg.mutation_probability = 0.2;
+  cfg.fault_families = all_fault_families();
+  cfg.fault_probability = 0.85;
+  cfg.base_seed = base_seed_from_env(20260806);
+
+  std::set<FaultFamily> fault_families_seen;
+  ChaosOptions opt;
+  const PropResult res = run_property(
+      "chaos", cfg, [&](const Instance& inst, InvariantReport& rep) {
+        fault_families_seen.insert(inst.spec.faults);
+        run_pipeline_chaos(inst, opt, rep);
+      });
+  export_replay_lines(res);
+  EXPECT_TRUE(res.ok()) << res.summary();
+  EXPECT_EQ(res.cases_run, cfg.cases);
+  EXPECT_GE(fault_families_seen.size(), 4u);
+}
+
+TEST(ProptestFaults, BenignFamiliesAreSurvivedOutright) {
+  // Duplicates, reorders and stalls never lose information: BFS-style
+  // protocols must survive them without any retry — not merely fail
+  // loudly. A retry here means the engine's delivery semantics regressed.
+  PropConfig cfg;
+  cfg.cases = 18;
+  cfg.min_n = 12;
+  cfg.max_n = 40;
+  cfg.mutation_probability = 0.0;
+  cfg.fault_families = {FaultFamily::kDuplicates, FaultFamily::kReorder,
+                        FaultFamily::kStalls};
+  cfg.fault_probability = 1.0;
+  cfg.base_seed = base_seed_from_env(17);
+
+  ChaosOptions opt;
+  const PropResult res = run_property(
+      "chaos_benign", cfg, [&](const Instance& inst, InvariantReport& rep) {
+        const ChaosStats st = run_pipeline_chaos(inst, opt, rep);
+        if (!st.separator_survived || !st.dfs_survived) {
+          rep.fail("benign faults (" +
+                   std::string(fault_family_name(inst.spec.faults)) +
+                   ") were not survived");
+        }
+      });
+  export_replay_lines(res);
+  EXPECT_TRUE(res.ok()) << res.summary();
+}
+
+TEST(ProptestFaults, ChaosRunsAreDeterministicallyReplayable) {
+  // The determinism contract end-to-end: re-running a chaos case from its
+  // CaseSpec reproduces the identical outcome — same survival verdict,
+  // same attempt counts, same injection totals, same trace size.
+  CaseSpec spec;
+  spec.family = planar::Family::kGridDiagonals;
+  spec.n = 40;
+  spec.seed = base_seed_from_env(424242);
+  spec.faults = FaultFamily::kChaos;
+  const Instance inst = build_instance(spec);
+
+  ChaosOptions opt;
+  InvariantReport rep_a, rep_b;
+  const ChaosStats a = run_pipeline_chaos(inst, opt, rep_a);
+  const ChaosStats b = run_pipeline_chaos(inst, opt, rep_b);
+  EXPECT_EQ(rep_a.to_string(), rep_b.to_string());
+  EXPECT_EQ(a.separator_survived, b.separator_survived);
+  EXPECT_EQ(a.dfs_survived, b.dfs_survived);
+  EXPECT_EQ(a.separator_attempts, b.separator_attempts);
+  EXPECT_EQ(a.dfs_attempts, b.dfs_attempts);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.trace_messages, b.trace_messages);
+  EXPECT_GT(a.injected, 0);
+}
+
+TEST(ProptestFaults, FaultyShrinkPrefersDroppingFaultsFirst)
+{
+  // A property that fails regardless of faults must shrink its fault
+  // family away (pointing the developer at an algorithmic bug, not a
+  // fault-tolerance one).
+  const Property broken = [](const Instance& inst, InvariantReport& rep) {
+    if (inst.gg.graph.num_nodes() >= 12) rep.fail("injected: always broken");
+  };
+  PropConfig cfg;
+  cfg.cases = 10;
+  cfg.min_n = 12;
+  cfg.max_n = 32;
+  cfg.mutation_probability = 0.0;
+  cfg.fault_families = all_fault_families();
+  cfg.fault_probability = 1.0;
+  cfg.base_seed = 5;
+  cfg.max_failures = 1;
+
+  ::testing::internal::CaptureStderr();
+  const PropResult res = run_property("faulty_shrink", cfg, broken);
+  ::testing::internal::GetCapturedStderr();
+  ASSERT_FALSE(res.ok());
+  const Failure& f = res.failures.front();
+  EXPECT_EQ(f.original.faults == FaultFamily::kNone, false);
+  EXPECT_EQ(f.shrunk.faults, FaultFamily::kNone);
+  EXPECT_EQ(f.replay.find("--faults"), std::string::npos) << f.replay;
+}
+
+}  // namespace
+}  // namespace plansep::testing
