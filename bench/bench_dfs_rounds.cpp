@@ -8,7 +8,7 @@
 // The parallel run must be bit-identical (same rounds, same messages) —
 // checked here — so the speedup comes for free semantically.
 //
-// Emits BENCH_dfs_rounds.json (override with --json=PATH).
+// Emits dfs_rounds.bench.json (override with --json=PATH).
 
 #include <cstdio>
 #include <functional>

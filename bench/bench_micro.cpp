@@ -130,7 +130,7 @@ void BM_WholeDfs(benchmark::State& state) {
 BENCHMARK(BM_WholeDfs)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
 
 /// Console output as usual, plus every run mirrored into the shared
-/// BENCH_*.json row schema (bench_util.hpp) like the table benches.
+/// *.bench.json row schema (bench_util.hpp) like the table benches.
 class TeeReporter : public benchmark::ConsoleReporter {
  public:
   TeeReporter() : json("micro") {}

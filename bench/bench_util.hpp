@@ -2,7 +2,7 @@
 
 // Shared helpers for the experiment binaries (bench/). Each binary
 // regenerates one experiment of EXPERIMENTS.md, prints a plain-text table,
-// and emits a machine-readable BENCH_<name>.json next to it so the perf
+// and emits a machine-readable <name>.bench.json next to it so the perf
 // trajectory accumulates across commits. Flags understood by every binary
 // that uses these helpers:
 //   --quick            shrink the sweep for smoke runs
@@ -57,11 +57,11 @@ inline int threads_arg(int argc, char** argv, int fallback = 4) {
   return fallback;
 }
 
-/// --json=PATH; empty string = suppress. Default: BENCH_<name>.json in cwd.
+/// --json=PATH; empty string = suppress. Default: <name>.bench.json in cwd.
 inline std::string json_path_arg(int argc, char** argv,
                                  const std::string& bench_name) {
   if (const char* v = flag_value(argc, argv, "json")) return v;
-  return "BENCH_" + bench_name + ".json";
+  return bench_name + ".bench.json";
 }
 
 inline double polylog2(int n) {

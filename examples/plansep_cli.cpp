@@ -14,7 +14,7 @@
 #include <iostream>
 
 #include "core/plansep.hpp"
-#include "util/io.hpp"
+#include "io/text.hpp"
 
 int main(int argc, char** argv) {
   using namespace plansep;

@@ -1,0 +1,63 @@
+#include "core/fingerprint.hpp"
+
+#include <cstdio>
+
+namespace plansep::core {
+
+namespace {
+
+// The exact SplitMix64 step faults/plan.cpp used before the hoist; the
+// byte-identity regression tests over stored fault-plan seeds pin it.
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                       std::uint64_t c) {
+  std::uint64_t h = splitmix(seed ^ a);
+  h = splitmix(h ^ b);
+  return splitmix(h ^ c);
+}
+
+std::uint64_t topology_fingerprint(const planar::EmbeddedGraph& g) {
+  std::uint64_t h = mix_seed(0x746f706f6c6f6779ULL,
+                             static_cast<std::uint64_t>(g.num_nodes()),
+                             static_cast<std::uint64_t>(g.num_darts()));
+  for (planar::NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const planar::DartId d : g.rotation(v)) {
+      h = splitmix(h ^ static_cast<std::uint64_t>(g.head(d)));
+    }
+  }
+  return h;
+}
+
+std::string fingerprint_hex(std::uint64_t fingerprint) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+bool fingerprint_from_hex(std::string_view hex, std::uint64_t& out) {
+  if (hex.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : hex) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace plansep::core

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file
+/// Stable topology fingerprints and the SplitMix64 seed mixer shared by
+/// the fault, io and serve layers.
+
+// Topology fingerprinting — one implementation, three consumers.
+//
+// A fingerprint is a stable 64-bit hash of an embedded planar graph's
+// full rotation system. It is *the* identity of a topology everywhere in
+// the repo:
+//
+//   * faults/  mixes it into per-run fault-plan seeds, so distinct graphs
+//     inside one pipeline draw independent fault streams;
+//   * io/      names corpus files (corpus/<family>/<fingerprint>.psg);
+//   * serve/   keys the content-addressed result cache by
+//     (fingerprint, algorithm id, config hash).
+//
+// The value is part of the persistence format and of the fault replay
+// contract (docs/FAULT_MODEL.md): changing the hash invalidates stored
+// corpora and reshuffles every seeded fault plan, so treat it as frozen.
+// mix_seed is the one avalanche primitive every derived hash (fault
+// decisions, cache config hashes) reduces to.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "planar/embedded_graph.hpp"
+
+namespace plansep::core {
+
+/// Mixes additional words into a seed (SplitMix64-style avalanche). The
+/// one hash primitive every plan decision and cache key reduces to.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a,
+                       std::uint64_t b = 0, std::uint64_t c = 0);
+
+/// Stable 64-bit fingerprint of a topology (node count, dart count, and
+/// the full rotation system). Frozen: stored corpora and seeded fault
+/// plans both depend on its exact value.
+std::uint64_t topology_fingerprint(const planar::EmbeddedGraph& g);
+
+/// Lower-case 16-digit hex rendering of a fingerprint — the spelling used
+/// in corpus file names and cache addresses.
+std::string fingerprint_hex(std::uint64_t fingerprint);
+
+/// Inverse of fingerprint_hex: parses exactly 16 lower-case hex digits.
+/// Returns false (leaving out untouched) on any other input.
+bool fingerprint_from_hex(std::string_view hex, std::uint64_t& out);
+
+}  // namespace plansep::core

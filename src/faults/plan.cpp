@@ -8,18 +8,13 @@ namespace plansep::faults {
 namespace {
 
 // Stream tags keep the decision families statistically independent even
-// though they share one seed.
+// though they share one seed. mix_seed / topology_fingerprint themselves
+// live in core/fingerprint.cpp (shared with io and serve); the decision
+// kernels here must keep hashing exactly as before the hoist.
 constexpr std::uint64_t kDropStream = 0x64726f700a0a0a01ULL;
 constexpr std::uint64_t kCrashStream = 0x63726173680a0a02ULL;
 constexpr std::uint64_t kReorderStream = 0x72656f7264657203ULL;
 constexpr std::uint64_t kOutageStream = 0x6f75746167650a04ULL;
-
-std::uint64_t splitmix(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
 
 // Uniform [0, 1) from the hash's top 53 bits.
 double unit(std::uint64_t h) {
@@ -27,25 +22,6 @@ double unit(std::uint64_t h) {
 }
 
 }  // namespace
-
-std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
-                       std::uint64_t c) {
-  std::uint64_t h = splitmix(seed ^ a);
-  h = splitmix(h ^ b);
-  return splitmix(h ^ c);
-}
-
-std::uint64_t topology_fingerprint(const EmbeddedGraph& g) {
-  std::uint64_t h = mix_seed(0x746f706f6c6f6779ULL,
-                             static_cast<std::uint64_t>(g.num_nodes()),
-                             static_cast<std::uint64_t>(g.num_darts()));
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    for (const planar::DartId d : g.rotation(v)) {
-      h = splitmix(h ^ static_cast<std::uint64_t>(g.head(d)));
-    }
-  }
-  return h;
-}
 
 std::string FaultSpec::describe() const {
   std::ostringstream os;

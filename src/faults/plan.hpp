@@ -20,6 +20,7 @@
 #include <string>
 
 #include "congest/network.hpp"
+#include "core/fingerprint.hpp"
 
 namespace plansep::faults {
 
@@ -61,15 +62,16 @@ struct FaultSpec {
   std::string describe() const;
 };
 
-/// Stable 64-bit fingerprint of a topology (node count, dart count, and
-/// the full rotation system). Mixed into the per-run seed so distinct
-/// graphs inside one pipeline draw from independent fault streams.
-std::uint64_t topology_fingerprint(const EmbeddedGraph& g);
+/// Stable 64-bit fingerprint of a topology, mixed into the per-run seed
+/// so distinct graphs inside one pipeline draw from independent fault
+/// streams. The shared implementation lives in core/fingerprint.hpp (io
+/// and serve key on the same value); the historical faults:: name stays.
+using core::topology_fingerprint;
 
 /// Mixes additional words into a seed (SplitMix64-style avalanche). The
-/// one hash primitive every plan decision reduces to.
-std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a,
-                       std::uint64_t b = 0, std::uint64_t c = 0);
+/// one hash primitive every plan decision reduces to — hoisted to
+/// core/fingerprint.hpp, re-exported under the historical name.
+using core::mix_seed;
 
 /// The pure decision kernel: spec + effective seed → per-query answers.
 /// All queries are const, stateless and O(1).

@@ -1,0 +1,132 @@
+#include "io/binary.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace plansep::io {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ------------------------------------------------------------ ByteWriter --
+
+void ByteWriter::u8(std::uint8_t v) { out_.push_back(v); }
+
+void ByteWriter::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v));
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int s = 0; s < 32; s += 8) {
+    out_.push_back(static_cast<std::uint8_t>(v >> s));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int s = 0; s < 64; s += 8) {
+    out_.push_back(static_cast<std::uint8_t>(v >> s));
+  }
+}
+
+void ByteWriter::i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+
+void ByteWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+void ByteWriter::bytes(const std::uint8_t* data, std::size_t size) {
+  out_.insert(out_.end(), data, data + size);
+}
+
+// ------------------------------------------------------------ ByteReader --
+
+const std::uint8_t* ByteReader::need(std::size_t n) {
+  if (size_ - pos_ < n) {
+    throw FormatError("truncated artifact: need " + std::to_string(n) +
+                      " byte(s) at offset " + std::to_string(pos_) +
+                      ", have " + std::to_string(size_ - pos_));
+  }
+  const std::uint8_t* p = data_ + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t ByteReader::u8() { return *need(1); }
+
+std::uint16_t ByteReader::u16() {
+  const std::uint8_t* p = need(2);
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t ByteReader::u32() {
+  const std::uint8_t* p = need(4);
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  const std::uint8_t* p = need(8);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::int32_t ByteReader::i32() { return static_cast<std::int32_t>(u32()); }
+
+std::int64_t ByteReader::i64() { return static_cast<std::int64_t>(u64()); }
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t len = u32();
+  const std::uint8_t* p = need(len);
+  return std::string(reinterpret_cast<const char*>(p), len);
+}
+
+void ByteReader::expect_exhausted(const char* what) const {
+  if (pos_ != size_) {
+    throw FormatError(std::string(what) + ": " + std::to_string(size_ - pos_) +
+                      " trailing byte(s) after a complete decode");
+  }
+}
+
+}  // namespace plansep::io

@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file
+/// Binary primitives of the artifact format: little-endian byte
+/// writer/reader, CRC32, and the diagnosable FormatError.
+
+// Binary primitives of the .psg/.psa artifact format (io/artifact.hpp).
+//
+// Everything persisted by this repo goes through these two classes, so
+// the on-disk encoding has exactly one definition: fixed-width
+// little-endian integers (explicit byte shifts — host endianness never
+// leaks into a file), IEEE-754 doubles as their u64 bit pattern, and
+// length-prefixed strings. The reader is bounds-checked on every access
+// and throws io::FormatError with a byte offset, so a truncated or
+// corrupted file is rejected with a diagnosable message instead of UB.
+//
+// crc32 is the standard reflected CRC-32 (polynomial 0xEDB88320, the
+// zlib/PNG one) — section payloads carry it so bit flips are detected at
+// load time, not three stages later as a wrong separator.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plansep::io {
+
+/// Thrown on any malformed artifact: bad magic, unsupported version,
+/// truncation, CRC mismatch, or out-of-range values. The message names
+/// the failing check and the byte offset where applicable.
+class FormatError : public std::runtime_error {
+ public:
+  /// An error with the given diagnosis.
+  explicit FormatError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// CRC-32 (reflected, polynomial 0xEDB88320 — the zlib/PNG convention) of
+/// `size` bytes at `data`.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+/// Append-only little-endian encoder backing every artifact section.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);    ///< one byte
+  void u16(std::uint16_t v);  ///< 2 bytes, little-endian
+  void u32(std::uint32_t v);  ///< 4 bytes, little-endian
+  void u64(std::uint64_t v);  ///< 8 bytes, little-endian
+  void i32(std::int32_t v);   ///< 4 bytes, two's complement little-endian
+  void i64(std::int64_t v);   ///< 8 bytes, two's complement little-endian
+  /// IEEE-754 double as its u64 bit pattern (byte-deterministic).
+  void f64(double v);
+  /// u32 length prefix followed by the raw bytes.
+  void str(std::string_view s);
+  /// Raw bytes, no prefix.
+  void bytes(const std::uint8_t* data, std::size_t size);
+
+  /// The encoded buffer so far.
+  const std::vector<std::uint8_t>& data() const { return out_; }
+  /// Moves the encoded buffer out (the writer is spent afterwards).
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+  /// Bytes written so far.
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed byte span; every
+/// overrun throws FormatError naming the offset.
+class ByteReader {
+ public:
+  /// A reader over `size` bytes at `data` (borrowed, not copied).
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  /// A reader over a whole buffer.
+  explicit ByteReader(const std::vector<std::uint8_t>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  std::uint8_t u8();    ///< one byte
+  std::uint16_t u16();  ///< 2 bytes, little-endian
+  std::uint32_t u32();  ///< 4 bytes, little-endian
+  std::uint64_t u64();  ///< 8 bytes, little-endian
+  std::int32_t i32();   ///< 4 bytes, two's complement little-endian
+  std::int64_t i64();   ///< 8 bytes, two's complement little-endian
+  double f64();         ///< IEEE-754 double from its u64 bit pattern
+  /// Length-prefixed string (u32 prefix).
+  std::string str();
+
+  std::size_t offset() const { return pos_; }          ///< bytes consumed
+  std::size_t remaining() const { return size_ - pos_; }  ///< bytes left
+  bool exhausted() const { return pos_ == size_; }     ///< nothing left?
+  /// Throws FormatError unless the reader consumed every byte — the
+  /// trailing-garbage check every section decoder ends with.
+  void expect_exhausted(const char* what) const;
+
+ private:
+  const std::uint8_t* need(std::size_t n);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace plansep::io

@@ -1,4 +1,4 @@
-#include "util/io.hpp"
+#include "io/text.hpp"
 
 #include <istream>
 #include <map>

@@ -1,7 +1,8 @@
 #pragma once
 
-// Import/export: edge lists, Graphviz DOT, and JSON summaries — the glue
-// for using plansep on external data and inspecting results visually.
+// Text import/export: edge lists, Graphviz DOT, and JSON summaries — the
+// glue for using plansep on external data and inspecting results visually.
+// The binary persistence format lives next door in io/artifact.hpp.
 
 #include <iosfwd>
 #include <string>

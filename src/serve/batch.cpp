@@ -1,0 +1,545 @@
+#include "serve/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "congest/thread_pool.hpp"
+#include "core/fingerprint.hpp"
+#include "core/plansep.hpp"
+#include "faults/controller.hpp"
+#include "io/artifact.hpp"
+#include "io/corpus.hpp"
+#include "obs/json.hpp"
+#include "obs/sink.hpp"
+#include "serve/verify.hpp"
+
+namespace plansep::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+long long elapsed_ms(Clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                               since)
+      .count();
+}
+
+// ------------------------------------------------------------- job rows --
+
+/// Deterministic separator row fields, all derived from the decoded
+/// artifact (never from live engine state — see the file comment).
+struct SepRow {
+  int phase = 0;
+  long long path = 0;
+  double balance = 0;
+  int components = 0;
+  bool verified = false;
+  long long measured = 0;
+  long long charged = 0;
+};
+
+/// Deterministic DFS row fields, likewise artifact-derived.
+struct DfsRow {
+  int phases = 0;
+  int depth = 0;
+  bool verified = false;
+  long long measured = 0;
+  long long charged = 0;
+};
+
+// Everything a job accumulates before its row is rendered.
+struct JobRun {
+  const JobSpec* spec = nullptr;
+  std::size_t index = 0;
+  std::string status = "ok";
+  std::string error;
+  int attempts = 1;
+  bool have_graph = false;
+  std::string family;
+  planar::NodeId nodes = 0;
+  planar::EdgeId edges = 0;
+  std::uint64_t fingerprint = 0;
+  std::optional<SepRow> sep;
+  std::optional<DfsRow> dfs;
+};
+
+std::string render_row(const JobRun& r) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("job").value(static_cast<long long>(r.index));
+  w.key("family").value(r.family.empty() ? r.spec->family : r.family);
+  w.key("algo").value(algo_name(r.spec->algo));
+  w.key("seed").value(static_cast<long long>(r.spec->seed));
+  w.key("faults").value(r.spec->faults.enabled());
+  if (r.have_graph) {
+    w.key("n").value(static_cast<long long>(r.nodes));
+    w.key("edges").value(static_cast<long long>(r.edges));
+    w.key("fingerprint").value(core::fingerprint_hex(r.fingerprint));
+  } else {
+    w.key("n").value(static_cast<long long>(r.spec->n));
+  }
+  w.key("status").value(r.status);
+  w.key("attempts").value(r.attempts);
+  if (r.sep) {
+    w.key("separator").begin_object();
+    w.key("phase").value(r.sep->phase);
+    w.key("path").value(r.sep->path);
+    w.key("balance").value(r.sep->balance);
+    w.key("components").value(r.sep->components);
+    w.key("verified").value(r.sep->verified);
+    w.key("measured").value(r.sep->measured);
+    w.key("charged").value(r.sep->charged);
+    w.end_object();
+  }
+  if (r.dfs) {
+    w.key("dfs").begin_object();
+    w.key("phases").value(r.dfs->phases);
+    w.key("depth").value(r.dfs->depth);
+    w.key("verified").value(r.dfs->verified);
+    w.key("measured").value(r.dfs->measured);
+    w.key("charged").value(r.dfs->charged);
+    w.end_object();
+  }
+  if (!r.error.empty()) w.key("error").value(r.error);
+  w.end_object();
+  return w.str();
+}
+
+// -------------------------------------------------------- job execution --
+
+std::vector<std::uint8_t> single_section(io::SectionId id,
+                                         std::vector<std::uint8_t> payload) {
+  io::Artifact a;
+  a.add(id, std::move(payload));
+  return io::assemble(a);
+}
+
+// Decodes a cached/computed separator artifact and fills the row — the one
+// bytes→row path shared by cold and warm runs.
+SepRow sep_row_from_bytes(const planar::EmbeddedGraph& g,
+                          const std::vector<std::uint8_t>& bytes) {
+  const io::Artifact a = io::parse(bytes);
+  const io::Section* sec = a.find(io::SectionId::kSeparator);
+  if (sec == nullptr) throw io::FormatError("artifact lacks kSeparator");
+  const io::SeparatorArtifact sa = io::decode_separator(sec->bytes);
+  const SeparatorVerify v = verify_separator_artifact(g, sa);
+  SepRow row;
+  row.phase = sa.part.phase;
+  row.path = static_cast<long long>(sa.part.path.size());
+  row.balance = v.balance;
+  row.components = v.components;
+  row.verified = v.ok();
+  row.measured = sa.cost.measured;
+  row.charged = sa.cost.charged;
+  return row;
+}
+
+DfsRow dfs_row_from_bytes(const planar::EmbeddedGraph& g,
+                          const std::vector<std::uint8_t>& bytes) {
+  const io::Artifact a = io::parse(bytes);
+  const io::Section* sec = a.find(io::SectionId::kDfsTree);
+  if (sec == nullptr) throw io::FormatError("artifact lacks kDfsTree");
+  const io::DfsArtifact da = io::decode_dfs(sec->bytes);
+  const DfsVerify v = verify_dfs_artifact(g, da);
+  DfsRow row;
+  row.phases = da.phases;
+  row.depth = v.max_depth;
+  row.verified = v.ok();
+  row.measured = da.cost.measured;
+  row.charged = da.cost.charged;
+  return row;
+}
+
+JobRun execute_job(const JobSpec& spec, std::size_t index,
+                   const BatchOptions& opts, ResultCache& cache) {
+  JobRun run;
+  run.spec = &spec;
+  run.index = index;
+  const auto start = Clock::now();
+  const auto expired = [&] {
+    return spec.deadline_ms >= 0 && elapsed_ms(start) >= spec.deadline_ms;
+  };
+
+  try {
+    // --- acquire the instance (generate-or-load) -------------------------
+    planar::EmbeddedGraph g;
+    planar::NodeId root = 0;
+    if (!spec.graph_path.empty()) {
+      io::LoadedGraph loaded = io::load_graph(spec.graph_path);
+      g = std::move(loaded.graph);
+      run.family = loaded.meta.family;
+    } else {
+      const auto fam = planar::family_from_name(spec.family);
+      if (!fam) {
+        throw std::runtime_error("unknown family '" + spec.family + "'");
+      }
+      planar::GeneratedGraph gg =
+          planar::make_instance(*fam, spec.n, spec.seed);
+      g = std::move(gg.graph);
+      root = gg.root_hint;
+      if (!opts.corpus_dir.empty()) {
+        io::store_in_corpus(opts.corpus_dir, spec.family, g, spec.seed);
+      }
+    }
+    run.have_graph = true;
+    run.nodes = g.num_nodes();
+    run.edges = g.num_edges();
+    run.fingerprint = core::topology_fingerprint(g);
+    const std::uint64_t config_hash =
+        core::mix_seed(0x726f6f7400000000ULL /* "root" */,
+                       static_cast<std::uint64_t>(root));
+
+    // Faulty jobs install their controller for the whole job: both stages
+    // draw from one deterministic epoch sequence, and retries see fresh
+    // faults. run_batch guarantees such jobs execute serially, so the
+    // process-global injector never leaks into a concurrent job.
+    const bool faulty = spec.faults.enabled();
+    std::optional<faults::FaultController> ctl;
+    std::optional<faults::ScopedFaultInjection> inj;
+    if (faulty) {
+      ctl.emplace(spec.faults, spec.fault_seed);
+      inj.emplace(*ctl);
+    }
+
+    // --- separator stage -------------------------------------------------
+    if (spec.algo != Algo::kDfs) {
+      if (expired()) {
+        run.status = "deadline";
+      } else {
+        std::vector<std::uint8_t> bytes;
+        if (faulty) {
+          faults::RecoveredSeparator rec =
+              faults::compute_separator_with_recovery(g, root, opts.retry);
+          run.attempts = std::max(run.attempts, rec.recovery.attempts);
+          if (!rec.recovery.ok) {
+            throw std::runtime_error("separator recovery failed: " +
+                                     rec.recovery.failure);
+          }
+          io::SeparatorArtifact sa{rec.result->parts.at(0), rec.cost};
+          bytes = single_section(io::SectionId::kSeparator,
+                                 io::encode_separator(sa));
+        } else {
+          const CacheKey key{run.fingerprint, "separator@v1", config_hash};
+          bytes = *cache.get_or_compute(key, [&] {
+            SeparatorRun sr = compute_cycle_separator(g, root);
+            io::SeparatorArtifact sa{sr.separator, sr.cost};
+            return single_section(io::SectionId::kSeparator,
+                                  io::encode_separator(sa));
+          });
+        }
+        run.sep = sep_row_from_bytes(g, bytes);
+      }
+    }
+
+    // --- DFS stage -------------------------------------------------------
+    if (spec.algo != Algo::kSeparator && run.status != "deadline") {
+      if (expired()) {
+        run.status = "deadline";
+      } else {
+        std::vector<std::uint8_t> bytes;
+        if (faulty) {
+          faults::RecoveredDfs rec =
+              faults::build_dfs_tree_with_recovery(g, root, opts.retry);
+          run.attempts = std::max(run.attempts, rec.recovery.attempts);
+          if (!rec.recovery.ok) {
+            throw std::runtime_error("dfs recovery failed: " +
+                                     rec.recovery.failure);
+          }
+          io::DfsArtifact da = io::dfs_artifact_from_tree(rec.build->tree);
+          da.phases = rec.build->phases;
+          da.cost = rec.cost;
+          bytes = single_section(io::SectionId::kDfsTree, io::encode_dfs(da));
+        } else {
+          const CacheKey key{run.fingerprint, "dfs@v1", config_hash};
+          bytes = *cache.get_or_compute(key, [&] {
+            DfsRun dr = compute_dfs_tree(g, root);
+            io::DfsArtifact da = io::dfs_artifact_from_tree(dr.build.tree);
+            da.phases = dr.build.phases;
+            da.cost = dr.build.cost;
+            return single_section(io::SectionId::kDfsTree, io::encode_dfs(da));
+          });
+        }
+        run.dfs = dfs_row_from_bytes(g, bytes);
+      }
+    }
+
+    if (run.status == "ok") {
+      const bool sep_bad = run.sep && !run.sep->verified;
+      const bool dfs_bad = run.dfs && !run.dfs->verified;
+      if (sep_bad || dfs_bad) run.status = "check_failed";
+    }
+  } catch (const std::exception& e) {
+    run.status = "error";
+    run.error = e.what();
+  }
+  return run;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- names --
+
+const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::kSeparator:
+      return "separator";
+    case Algo::kDfs:
+      return "dfs";
+    case Algo::kPipeline:
+      return "pipeline";
+  }
+  return "?";
+}
+
+std::optional<Algo> algo_from_name(const std::string& name) {
+  if (name == "separator") return Algo::kSeparator;
+  if (name == "dfs") return Algo::kDfs;
+  if (name == "pipeline") return Algo::kPipeline;
+  return std::nullopt;
+}
+
+// -------------------------------------------------------------- parsing --
+
+namespace {
+
+[[noreturn]] void bad_line(int line_no, const std::string& what) {
+  throw std::runtime_error("job file line " + std::to_string(line_no) + ": " +
+                           what);
+}
+
+double parse_prob(int line_no, const std::string& key,
+                  const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || v < 0 || v > 1) {
+    bad_line(line_no, "--" + key + " wants a probability in [0,1], got '" +
+                          value + "'");
+  }
+  return v;
+}
+
+long long parse_int(int line_no, const std::string& key,
+                    const std::string& value) {
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    bad_line(line_no, "--" + key + " wants an integer, got '" + value + "'");
+  }
+  return v;
+}
+
+std::uint64_t parse_u64(int line_no, const std::string& key,
+                        const std::string& value) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    bad_line(line_no, "--" + key + " wants an unsigned integer, got '" +
+                          value + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+std::optional<JobSpec> parse_job_line(const std::string& text, int line_no) {
+  std::istringstream in(text);
+  std::string token;
+  JobSpec spec;
+  spec.line = line_no;
+  bool any = false;
+  while (in >> token) {
+    if (token[0] == '#') break;  // trailing comment
+    any = true;
+    if (token.rfind("--", 0) != 0) {
+      bad_line(line_no, "expected --key=value, got '" + token + "'");
+    }
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      bad_line(line_no, "flag '" + token + "' lacks =value");
+    }
+    const std::string key = token.substr(2, eq - 2);
+    const std::string value = token.substr(eq + 1);
+    if (key == "family") {
+      spec.family = value;
+    } else if (key == "n") {
+      spec.n = static_cast<int>(parse_int(line_no, key, value));
+    } else if (key == "seed") {
+      spec.seed = parse_u64(line_no, key, value);
+    } else if (key == "algo") {
+      const auto a = algo_from_name(value);
+      if (!a) bad_line(line_no, "unknown algo '" + value + "'");
+      spec.algo = *a;
+    } else if (key == "deadline-ms") {
+      spec.deadline_ms = parse_int(line_no, key, value);
+    } else if (key == "graph") {
+      spec.graph_path = value;
+    } else if (key == "drop") {
+      spec.faults.drop_prob = parse_prob(line_no, key, value);
+    } else if (key == "dup") {
+      spec.faults.duplicate_prob = parse_prob(line_no, key, value);
+    } else if (key == "stall") {
+      spec.faults.stall_prob = parse_prob(line_no, key, value);
+    } else if (key == "reorder") {
+      spec.faults.reorder_prob = parse_prob(line_no, key, value);
+    } else if (key == "crash") {
+      spec.faults.crash_prob = parse_prob(line_no, key, value);
+    } else if (key == "outage") {
+      spec.faults.edge_outage_prob = parse_prob(line_no, key, value);
+    } else if (key == "fault-seed") {
+      spec.fault_seed = parse_u64(line_no, key, value);
+    } else {
+      bad_line(line_no, "unknown flag --" + key);
+    }
+  }
+  if (!any) return std::nullopt;
+  return spec;
+}
+
+std::vector<JobSpec> parse_job_file(std::istream& in) {
+  std::vector<JobSpec> jobs;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (auto spec = parse_job_line(line, line_no)) {
+      jobs.push_back(std::move(*spec));
+    }
+  }
+  return jobs;
+}
+
+// ------------------------------------------------------------ scheduler --
+
+BatchReport run_batch(const std::vector<JobSpec>& jobs,
+                      const BatchOptions& opts, ResultCache& cache,
+                      std::ostream* rows_out) {
+  obs::ensure_env_metrics();  // settle the env bootstrap before detaching
+  const CacheCounters before = cache.counters();
+
+  BatchReport rep;
+  rep.jobs = static_cast<long long>(jobs.size());
+  rep.results.resize(jobs.size());
+  std::vector<long long> latency_ms(jobs.size(), 0);
+  std::vector<char> done(jobs.size(), 0);
+
+  // Reorder buffer: rows stream in admission order, never completion
+  // order. Whichever thread completes a job flushes the ready prefix.
+  std::mutex emit_mu;
+  std::size_t next_emit = 0;
+  const auto complete = [&](std::size_t i, JobRun run, long long ms) {
+    JobResult res;
+    res.status = run.status;
+    res.error = run.error;
+    res.attempts = run.attempts;
+    res.row = render_row(run);
+    std::lock_guard<std::mutex> lk(emit_mu);
+    rep.results[i] = std::move(res);
+    latency_ms[i] = ms;
+    done[i] = 1;
+    while (next_emit < jobs.size() && done[next_emit]) {
+      if (rows_out != nullptr) {
+        (*rows_out) << rep.results[next_emit].row << '\n';
+        rows_out->flush();
+      }
+      ++next_emit;
+    }
+  };
+  const auto timed = [&](std::size_t i) {
+    const auto t0 = Clock::now();
+    JobRun run = execute_job(jobs[i], i, opts, cache);
+    complete(i, std::move(run), elapsed_ms(t0));
+  };
+
+  // Detach every process-global hook for the parallel section: the
+  // metrics registry and trace sink demand single-threaded mutation, and
+  // a fault injector must never observe two concurrent networks. Local
+  // counters are folded back into the restored registry below.
+  obs::MetricsRegistry* const saved_reg = obs::set_global_registry(nullptr);
+  congest::TraceSink* const saved_sink =
+      congest::set_global_trace_sink(nullptr);
+  congest::FaultInjector* const saved_inj =
+      congest::set_global_fault_injector(nullptr);
+  {
+    // Jobs are the unit of parallelism; the round engine inside each job
+    // runs serially (ThreadPool::run_shards is not reentrant).
+    congest::ScopedThreadConfig serial_rounds(congest::ThreadConfig{});
+
+    // Fault-injected jobs first, serially, in admission order: their
+    // ScopedFaultInjection installs a process-global injector.
+    std::vector<std::size_t> fault_free;
+    fault_free.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (jobs[i].faults.enabled()) {
+        timed(i);
+      } else {
+        fault_free.push_back(i);
+      }
+    }
+
+    const int shards = static_cast<int>(
+        std::min<std::size_t>(std::max(opts.threads, 1), fault_free.size()));
+    if (shards <= 1) {
+      for (const std::size_t i : fault_free) timed(i);
+    } else {
+      std::atomic<std::size_t> cursor{0};
+      congest::ThreadPool::instance().run_shards(shards, [&](int) {
+        // run_shards requires a non-throwing fn; execute_job converts all
+        // job failures into "error" rows, so nothing escapes here.
+        for (;;) {
+          const std::size_t slot = cursor.fetch_add(1);
+          if (slot >= fault_free.size()) break;
+          timed(fault_free[slot]);
+        }
+      });
+    }
+  }
+  congest::set_global_fault_injector(saved_inj);
+  congest::set_global_trace_sink(saved_sink);
+  obs::set_global_registry(saved_reg);
+
+  rep.cache = cache.counters() - before;
+  for (const JobResult& r : rep.results) {
+    if (r.status == "ok") {
+      ++rep.ok;
+    } else if (r.status == "check_failed") {
+      ++rep.check_failed;
+    } else if (r.status == "deadline") {
+      ++rep.deadline_missed;
+    } else {
+      ++rep.errors;
+    }
+  }
+
+  if (obs::MetricsRegistry* reg = obs::global_registry()) {
+    reg->add("serve/jobs", rep.jobs);
+    reg->add("serve/jobs_ok", rep.ok);
+    reg->add("serve/check_failed", rep.check_failed);
+    reg->add("serve/deadline_missed", rep.deadline_missed);
+    reg->add("serve/errors", rep.errors);
+    reg->add("serve/cache_hits", rep.cache.hits);
+    reg->add("serve/cache_disk_hits", rep.cache.disk_hits);
+    reg->add("serve/cache_misses", rep.cache.misses);
+    reg->add("serve/cache_served_warm", rep.cache.served_without_compute());
+    reg->add("serve/cache_evictions", rep.cache.evictions);
+    obs::HistogramData& lat = reg->histogram("serve/job_latency_ms");
+    for (const long long ms : latency_ms) lat.add(ms);
+    // Deterministic backlog profile: the queue depth each job observed at
+    // admission (jobs behind it included), independent of scheduling.
+    obs::HistogramData& depth = reg->histogram("serve/queue_depth");
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      depth.add(static_cast<long long>(jobs.size() - i));
+    }
+  }
+  return rep;
+}
+
+}  // namespace plansep::serve

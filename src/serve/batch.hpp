@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file
+/// Batch serving: job-file parsing and the concurrent, cache-backed,
+/// deadline-aware scheduler behind the plansep_batch CLI.
+
+// The batch scheduler: admits pipeline jobs (generate-or-load → separator
+// → DFS → verify), executes them on congest::ThreadPool, and streams one
+// JSON row per job.
+//
+// Determinism contract (argued in DESIGN.md §9): for a fixed job file and
+// cache configuration, the emitted row stream is byte-identical across
+//   * thread counts (serial vs k workers),
+//   * cold vs warm caches (memory, disk, or both).
+// The ingredients:
+//   * rows are emitted in admission order through a reorder buffer, never
+//     in completion order;
+//   * every row field derives from the canonical artifact bytes — a cold
+//     run encodes, then decodes its own artifact; a warm run decodes the
+//     cached bytes; both verify the decoded arrays through serve/verify —
+//     so there is one code path from bytes to row;
+//   * rows carry no wall-clock fields and no per-job cache disposition
+//     (those live in the obs metrics, where single-flight makes the
+//     aggregate hit/miss counts thread-count-invariant too);
+//   * fault-injected jobs bypass the cache and always run serially on the
+//     admitting thread in admission order (the fault injector hook is
+//     process-global), so their retry histories are reproducible.
+//
+// Inside the parallel section the scheduler forces the CONGEST round
+// engine serial (ScopedThreadConfig{threads = 1}) — ThreadPool::run_shards
+// is not reentrant, and job-level parallelism already saturates the pool —
+// and detaches the process-global metrics registry / trace sink / fault
+// injector, folding a local counter set back into the restored registry
+// afterwards, so PLANSEP_METRICS=1 stays race-free under concurrent jobs.
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "faults/plan.hpp"
+#include "faults/recovery.hpp"
+#include "serve/cache.hpp"
+
+namespace plansep::serve {
+
+/// Which stages a job runs.
+enum class Algo {
+  kSeparator,  ///< cycle separator only (Theorem 1)
+  kDfs,        ///< DFS tree only (Theorem 2)
+  kPipeline,   ///< separator, then DFS
+};
+
+/// Stable name of an algo ("separator", "dfs", "pipeline").
+const char* algo_name(Algo a);
+/// Inverse of algo_name; nullopt for unknown names.
+std::optional<Algo> algo_from_name(const std::string& name);
+
+/// One admitted job, as parsed from a job-file line.
+struct JobSpec {
+  std::string family = "grid";     ///< generator family (family_from_name)
+  int n = 64;                      ///< target instance size
+  std::uint64_t seed = 1;          ///< generation seed
+  Algo algo = Algo::kPipeline;     ///< stages to run
+  /// Wall-clock budget in milliseconds, checked between stages; negative
+  /// means none. 0 is "already expired" — the deterministic way tests
+  /// exercise the deadline path.
+  long long deadline_ms = -1;
+  faults::FaultSpec faults;        ///< injected fault intensities
+  std::uint64_t fault_seed = 0;    ///< base seed for the fault plan
+  /// Load this .psg artifact instead of generating (family/n/seed are
+  /// then provenance only).
+  std::string graph_path;
+  int line = 0;                    ///< 1-based job-file line (diagnostics)
+};
+
+/// Parses one job-file line of `--key=value` flags (see docs: --family,
+/// --n, --seed, --algo, --deadline-ms, --graph, --drop, --dup, --stall,
+/// --reorder, --crash, --outage, --fault-seed). Returns nullopt for blank
+/// or '#'-comment lines; throws std::runtime_error (with the line number)
+/// on unknown flags or malformed values.
+std::optional<JobSpec> parse_job_line(const std::string& text, int line_no);
+
+/// Parses a whole job file via parse_job_line.
+std::vector<JobSpec> parse_job_file(std::istream& in);
+
+/// Scheduler configuration.
+struct BatchOptions {
+  int threads = 1;             ///< worker shards for fault-free jobs
+  std::string corpus_dir;      ///< store generated instances here ("" = off)
+  faults::RetryPolicy retry;   ///< recovery policy for fault-injected jobs
+};
+
+/// Outcome of one job, in admission order.
+struct JobResult {
+  /// "ok", "check_failed" (a verifier rejected a stage's output),
+  /// "deadline" (budget exhausted between stages; completed stages still
+  /// reported), or "error" (see `error`).
+  std::string status;
+  std::string row;    ///< the emitted JSON row (no trailing newline)
+  std::string error;  ///< diagnosis when status == "error"
+  int attempts = 1;   ///< pipeline attempts (> 1 only under faults)
+};
+
+/// Aggregate outcome of a batch.
+struct BatchReport {
+  long long jobs = 0;             ///< admitted jobs
+  long long ok = 0;               ///< status "ok"
+  long long check_failed = 0;     ///< status "check_failed"
+  long long deadline_missed = 0;  ///< status "deadline"
+  long long errors = 0;           ///< status "error"
+  CacheCounters cache;            ///< cache counter delta over this batch
+  std::vector<JobResult> results; ///< per-job outcomes, admission order
+};
+
+/// Runs the batch. Rows stream to `rows_out` (JSONL, admission order) as
+/// completion allows; pass nullptr to collect them only in the report.
+/// The cache is caller-owned so consecutive batches share warmth.
+BatchReport run_batch(const std::vector<JobSpec>& jobs,
+                      const BatchOptions& opts, ResultCache& cache,
+                      std::ostream* rows_out = nullptr);
+
+}  // namespace plansep::serve

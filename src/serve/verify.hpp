@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file
+/// Centralized verification of persisted artifacts: separator balance and
+/// DFS ancestor checks that work on decoded arrays, not live engine state.
+
+// Artifact verifiers for the batch pipeline's "verify" stage.
+//
+// The engine-side validators (separator/validate.hpp, dfs/validate.hpp)
+// consume live engine structures (PartSet, PartialDfsTree) that a
+// warm-cache batch never builds — a cache hit hands back decoded arrays.
+// These verifiers check the same mathematical properties directly on the
+// artifact + graph, so cold and warm runs verify (and report) through one
+// code path, which is what makes warm-run result rows byte-identical to
+// cold-run rows.
+
+#include "io/artifact.hpp"
+#include "planar/embedded_graph.hpp"
+
+namespace plansep::serve {
+
+/// Verification outcome for a persisted separator (whole graph as one
+/// part): the cycle-separator properties of Theorem 1, re-derived
+/// centrally.
+struct SeparatorVerify {
+  bool nodes_valid = false;   ///< all path nodes in range, no repeats
+  bool path_connected = false;  ///< consecutive path nodes adjacent in g
+  bool balanced = false;      ///< every component of g − path has ≤ 2n/3 nodes
+  double balance = 0;         ///< max component size / n
+  int components = 0;         ///< components of g − path
+  /// All properties hold.
+  bool ok() const { return nodes_valid && path_connected && balanced; }
+};
+
+/// Verifies a separator artifact against the graph it was computed on.
+SeparatorVerify verify_separator_artifact(const planar::EmbeddedGraph& g,
+                                          const io::SeparatorArtifact& s);
+
+/// Verification outcome for a persisted DFS tree: the classic
+/// characterization (every graph edge joins an ancestor/descendant pair),
+/// re-derived from the parent/depth arrays.
+struct DfsVerify {
+  bool spanning = false;           ///< every node has a consistent parent
+  bool depths_consistent = false;  ///< depth(v) == depth(parent(v)) + 1
+  bool dfs_property = false;       ///< all edges ancestor-related
+  long long violating_edges = 0;   ///< edges breaking the DFS property
+  int max_depth = 0;               ///< deepest node (reporting)
+  /// All properties hold.
+  bool ok() const { return spanning && depths_consistent && dfs_property; }
+};
+
+/// Verifies a DFS artifact against the graph it was computed on.
+DfsVerify verify_dfs_artifact(const planar::EmbeddedGraph& g,
+                              const io::DfsArtifact& d);
+
+}  // namespace plansep::serve

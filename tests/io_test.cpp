@@ -7,7 +7,7 @@
 
 #include "core/plansep.hpp"
 #include "util/check.hpp"
-#include "util/io.hpp"
+#include "io/text.hpp"
 
 namespace plansep::io {
 namespace {
