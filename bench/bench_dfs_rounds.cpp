@@ -4,15 +4,21 @@
 // both accountings, outer phase count vs log2 n, validity of the result.
 //
 // Section 2: wall-clock of the message-level round engine, serial vs the
-// parallel executor (--threads=K), on large triangulation/grid instances.
-// The parallel run must be bit-identical (same rounds, same messages) —
-// checked here — so the speedup comes for free semantically.
+// parallel executor (--threads=K), on large triangulation/grid instances
+// (n up to ~100k). The parallel run must be bit-identical (same rounds,
+// same messages) — checked here — so the speedup comes for free
+// semantically. Timings are min-of-`--reps` (default 3) so the CI
+// perf-regression gate (bench/bench_gate.py) compares noise-tolerant
+// numbers, and every row carries the engine configuration it ran under
+// (threads, par_threshold, host_cores, reps) so baseline rows are
+// self-describing and matchable.
 //
 // Emits dfs_rounds.bench.json (override with --json=PATH).
 
 #include <cstdio>
 #include <functional>
 #include <initializer_list>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "shortcuts/partwise_message.hpp"
@@ -28,12 +34,15 @@ struct EngineTiming {
   double wall_ms = 0;
 };
 
+// Runs fn `reps` times under cfg; keeps fn's observable counts (identical
+// across repetitions — the engine is deterministic) and the minimum wall
+// time.
 template <typename Fn>
-EngineTiming timed_run(const congest::ThreadConfig& cfg, const Fn& fn) {
+EngineTiming timed_run(const congest::ThreadConfig& cfg, int reps,
+                       const Fn& fn) {
   congest::ScopedThreadConfig guard(cfg);
-  bench::WallTimer timer;
-  EngineTiming t = fn();
-  t.wall_ms = timer.ms();
+  EngineTiming t;
+  t.wall_ms = bench::min_wall_ms(reps, [&] { t = fn(); });
   return t;
 }
 
@@ -43,7 +52,22 @@ int main(int argc, char** argv) {
   bench::ObsSession obs(argc, argv);
   const bool quick = bench::quick_mode(argc, argv);
   const int threads = bench::threads_arg(argc, argv, 4);
+  const int reps = bench::reps_arg(argc, argv, quick ? 1 : 3);
+  const int host_cores =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
   bench::BenchJson json("dfs_rounds");
+
+  const congest::ThreadConfig serial_cfg{1, 64};
+  const congest::ThreadConfig par_cfg{threads, 32};
+
+  // Engine configuration stamp shared by every row (the gate matches
+  // baseline rows on these).
+  const auto stamp = [&](obs::RowsJson::Row& row) -> obs::RowsJson::Row& {
+    return row.set("threads", threads)
+        .set("par_threshold", par_cfg.min_active_to_parallelize)
+        .set("host_cores", host_cores)
+        .set("reps", reps);
+  };
 
   std::printf("E3: DFS construction rounds and phases (Theorem 2)\n\n");
   Table table({"family", "n", "D<=", "valid", "phases", "lg n", "measured",
@@ -60,17 +84,17 @@ int main(int argc, char** argv) {
               run.build.cost.measured, run.build.cost.charged,
               static_cast<double>(run.build.cost.charged) /
                   (d * bench::polylog2(gg.graph.num_nodes())));
-    json.row()
-        .set("kind", "dfs_analytic")
-        .set("family", planar::family_name(pt.family))
-        .set("n", gg.graph.num_nodes())
-        .set("diameter_bound", run.diameter_bound)
-        .set("valid", run.check.ok())
-        .set("phases", run.build.phases)
-        .set("rounds_measured", run.build.cost.measured)
-        .set("rounds_charged", run.build.cost.charged)
-        .set("wall_ms", wall_ms)
-        .set("threads", 1);
+    auto& row = json.row()
+                    .set("kind", "dfs_analytic")
+                    .set("family", planar::family_name(pt.family))
+                    .set("n", gg.graph.num_nodes())
+                    .set("diameter_bound", run.diameter_bound)
+                    .set("valid", run.check.ok())
+                    .set("phases", run.build.phases)
+                    .set("rounds_measured", run.build.cost.measured)
+                    .set("rounds_charged", run.build.cost.charged)
+                    .set("wall_ms", wall_ms);
+    stamp(row);
   }
   table.print();
   std::printf(
@@ -78,19 +102,22 @@ int main(int argc, char** argv) {
       "charged rounds = Otilde(D) (bounded last column).\n");
 
   // ------------------------------------------------- parallel engine --
-  std::printf("\nParallel round engine: serial vs %d threads (wall clock)\n\n",
-              threads);
+  std::printf(
+      "\nParallel round engine: serial vs %d threads, min of %d reps\n\n",
+      threads, reps);
   Table par_table({"workload", "family", "n", "rounds", "messages",
                    "serial ms", "par ms", "speedup"});
-  const congest::ThreadConfig serial_cfg{1, 64};
-  const congest::ThreadConfig par_cfg{threads, 32};
 
   std::vector<bench::SweepPoint> big = quick
       ? std::vector<bench::SweepPoint>{{planar::Family::kTriangulation, 2000},
                                        {planar::Family::kGrid, 2025}}
-      : std::vector<bench::SweepPoint>{{planar::Family::kTriangulation, 50000},
-                                       {planar::Family::kGrid, 50176},
-                                       {planar::Family::kGridDiagonals, 50176}};
+      : std::vector<bench::SweepPoint>{
+            {planar::Family::kTriangulation, 50000},
+            {planar::Family::kGrid, 50176},
+            {planar::Family::kGridDiagonals, 50176},
+            {planar::Family::kTriangulation, 100000},
+            {planar::Family::kGrid, 100489},
+            {planar::Family::kGridDiagonals, 100489}};
   for (const auto& pt : big) {
     const auto gg = planar::make_instance(pt.family, pt.n, 1);
     const auto& g = gg.graph;
@@ -123,8 +150,8 @@ int main(int argc, char** argv) {
     };
     for (const auto& [name, fn] : std::initializer_list<Workload>{
              {"bfs_wave", run_bfs}, {"aggregate", run_agg}}) {
-      const EngineTiming s = timed_run(serial_cfg, fn);
-      const EngineTiming p = timed_run(par_cfg, fn);
+      const EngineTiming s = timed_run(serial_cfg, reps, fn);
+      const EngineTiming p = timed_run(par_cfg, reps, fn);
       // Determinism: the parallel executor must match the serial engine on
       // every observable count before its wall clock means anything.
       PLANSEP_CHECK_MSG(s.rounds == p.rounds && s.messages == p.messages,
@@ -132,23 +159,24 @@ int main(int argc, char** argv) {
       const double speedup = p.wall_ms > 0 ? s.wall_ms / p.wall_ms : 0;
       par_table.add(name, planar::family_name(pt.family), g.num_nodes(),
                     s.rounds, s.messages, s.wall_ms, p.wall_ms, speedup);
-      json.row()
-          .set("kind", "parallel_engine")
-          .set("workload", name)
-          .set("family", planar::family_name(pt.family))
-          .set("n", g.num_nodes())
-          .set("rounds", s.rounds)
-          .set("messages", s.messages)
-          .set("threads", threads)
-          .set("wall_ms_serial", s.wall_ms)
-          .set("wall_ms_parallel", p.wall_ms)
-          .set("speedup", speedup);
+      auto& row = json.row()
+                      .set("kind", "parallel_engine")
+                      .set("workload", name)
+                      .set("family", planar::family_name(pt.family))
+                      .set("n", g.num_nodes())
+                      .set("rounds", s.rounds)
+                      .set("messages", s.messages)
+                      .set("wall_ms_serial", s.wall_ms)
+                      .set("wall_ms_parallel", p.wall_ms)
+                      .set("speedup", speedup);
+      stamp(row);
     }
   }
   par_table.print();
   std::printf(
       "\nSerial and parallel runs are checked bit-identical on rounds and\n"
-      "message counts; speedup > 1 requires real cores (see nproc).\n");
+      "message counts; speedup > 1 requires real cores (host_cores in the\n"
+      "JSON rows records what this machine had).\n");
 
   json.write(bench::json_path_arg(argc, argv, "dfs_rounds"));
   return 0;

@@ -11,11 +11,13 @@
 //   --metrics-out=PATH write observability metrics JSON (src/obs/)
 //   --trace-out=PATH   write a Chrome trace-event / Perfetto file
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <optional>
 #include <string>
 #include <utility>
@@ -72,6 +74,8 @@ inline double polylog2(int n) {
 class WallTimer {
  public:
   WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  /// Restarts the clock — one timer can time many repetitions in place.
+  void reset() { start_ = std::chrono::steady_clock::now(); }
   double ms() const {
     return std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now() - start_)
@@ -81,6 +85,31 @@ class WallTimer {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Minimum wall time of `reps` runs of fn — the noise-tolerant estimate
+/// the perf-regression gate compares (min, not mean: scheduling noise is
+/// strictly additive, so the minimum is the cleanest repeatable sample).
+template <typename Fn>
+inline double min_wall_ms(int reps, const Fn& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  WallTimer timer;
+  for (int r = 0; r < std::max(1, reps); ++r) {
+    timer.reset();
+    fn();
+    best = std::min(best, timer.ms());
+  }
+  return best;
+}
+
+/// --reps=N (>= 1); falls back to the given default. Repetition count for
+/// min-of-reps timing.
+inline int reps_arg(int argc, char** argv, int fallback = 3) {
+  if (const char* v = flag_value(argc, argv, "reps")) {
+    const int k = std::atoi(v);
+    if (k >= 1) return k;
+  }
+  return fallback;
+}
 
 // ------------------------------------------------------------- JSON out --
 //

@@ -10,6 +10,7 @@ namespace {
 using congest::Ctx;
 using congest::EmbeddedGraph;
 using congest::Incoming;
+using congest::InboxView;
 using congest::Message;
 using congest::NodeId;
 
@@ -37,7 +38,7 @@ class AwerbuchProgram : public congest::NodeProgram {
     return {root_};
   }
 
-  void round(NodeId v, const std::vector<Incoming>& inbox, Ctx& ctx) override {
+  void round(NodeId v, InboxView inbox, Ctx& ctx) override {
     auto& known = neighbor_visited_[static_cast<std::size_t>(v)];
     if (known.empty()) {
       known.assign(static_cast<std::size_t>(g_->degree(v)), 0);

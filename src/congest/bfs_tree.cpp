@@ -25,7 +25,7 @@ class BfsProgram : public NodeProgram {
     return {root_};
   }
 
-  void round(NodeId v, const std::vector<Incoming>& inbox, Ctx& ctx) override {
+  void round(NodeId v, InboxView inbox, Ctx& ctx) override {
     auto& depth = out_->depth[static_cast<std::size_t>(v)];
     NodeId parent = planar::kNoNode;
     if (v != root_) {

@@ -16,6 +16,11 @@ namespace {
 std::atomic<TraceSink*> g_trace_sink{nullptr};
 std::atomic<FaultInjector*> g_fault_injector{nullptr};
 
+// Below this many staged messages the bucket-parallel scatter costs more
+// in pool wake-up than it saves; deliver serially instead (identical
+// results either way — the scatter order per recipient is the same).
+constexpr std::uint32_t kParallelScatterThreshold = 2048;
+
 ThreadConfig read_env_config() {
   ThreadConfig cfg;
   if (const char* e = std::getenv("PLANSEP_THREADS")) {
@@ -25,6 +30,9 @@ ThreadConfig read_env_config() {
   if (const char* e = std::getenv("PLANSEP_PAR_THRESHOLD")) {
     const int v = std::atoi(e);
     if (v >= 0) cfg.min_active_to_parallelize = v;
+  }
+  if (const char* e = std::getenv("PLANSEP_FUSION")) {
+    cfg.fuse_rounds = std::atoi(e) != 0;
   }
   return cfg;
 }
@@ -88,10 +96,14 @@ void Ctx::wake_next_round() {
 }
 
 Network::Network(const EmbeddedGraph& g) : g_(&g), cfg_(default_thread_config()) {
-  inbox_.resize(static_cast<std::size_t>(g.num_nodes()));
-  woken_.assign(static_cast<std::size_t>(g.num_nodes()), 0);
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  num_nodes_ = std::max<long long>(1, g.num_nodes());
+  inbox_off_.assign(n, 0);
+  inbox_len_.assign(n, 0);
+  cursor_.assign(n, 0);
+  woken_.assign(n, 0);
   sent_round_.assign(static_cast<std::size_t>(g.num_darts()), -1);
-  crash_pending_flag_.assign(static_cast<std::size_t>(g.num_nodes()), 0);
+  crash_pending_flag_.assign(n, 0);
 }
 
 void Network::set_threads(int k) {
@@ -129,9 +141,58 @@ void Network::do_send(NodeId from, NodeId to, const Message& msg, int round) {
 void Network::do_send_staged(detail::ShardBuf& buf, NodeId from, NodeId to,
                              const Message& msg, int round) {
   // Sink notification and the messages_sent_ counter are deferred to the
-  // deterministic merge on the coordinating thread.
+  // deterministic merge on the coordinating thread. The destination-bucket
+  // index is recorded in the same pass so delivery can scatter
+  // bucket-parallel without sorting.
   checked_dart(from, to, round);
+  buf.by_bucket[static_cast<std::size_t>(bucket_of(to))].push_back(
+      static_cast<std::uint32_t>(buf.sends.size()));
   buf.sends.push_back({to, Incoming{from, msg}});
+}
+
+// Delivery pass 1: one accepted message for `to`. The first message a node
+// receives this round registers it as a recipient (reserving its slab
+// slice) and activates it unless a wake-up already did.
+void Network::count_delivery(NodeId to) {
+  const auto i = static_cast<std::size_t>(to);
+  if (inbox_len_[i]++ == 0) {
+    recipients_.push_back(to);
+    if (!woken_[i]) {
+      woken_[i] = 1;
+      active_next_.push_back(to);
+    }
+  }
+}
+
+// Delivery pass 2 setup: prefix-sum the per-recipient counts into slab
+// offsets and scatter cursors, and make room in the staging slab.
+std::uint32_t Network::finish_offsets() {
+  std::uint32_t total = 0;
+  for (const NodeId to : recipients_) {
+    const auto i = static_cast<std::size_t>(to);
+    inbox_off_[i] = total;
+    cursor_[i] = total;
+    total += inbox_len_[i];
+  }
+  if (inbox_next_.size() < total) inbox_next_.resize(total);
+  return total;
+}
+
+// Serial delivery: count + activate in staging order, then scatter into the
+// next round's slab and swap it in. Per-node inbox order is exactly the
+// staging (= send acceptance) order.
+long long Network::deliver_serial() {
+  recipients_.clear();
+  for (const auto& [to, inc] : staged_) {
+    count_delivery(to);
+    (void)inc;
+  }
+  const std::uint32_t total = finish_offsets();
+  for (const auto& [to, inc] : staged_) {
+    inbox_next_[cursor_[static_cast<std::size_t>(to)]++] = inc;
+  }
+  inbox_data_.swap(inbox_next_);
+  return static_cast<long long>(total);
 }
 
 // Executes one round's turns sharded over the pool and merges the staged
@@ -146,8 +207,9 @@ void Network::parallel_turns(NodeProgram& prog, int round,
   if (static_cast<int>(shard_bufs_.size()) < shards) {
     shard_bufs_.resize(static_cast<std::size_t>(shards));
   }
+  buckets_ = shards;
   for (int s = 0; s < shards; ++s) {
-    shard_bufs_[static_cast<std::size_t>(s)].reset();
+    shard_bufs_[static_cast<std::size_t>(s)].reset(shards);
   }
   const std::size_t n_active = active.size();
   ThreadPool::instance().run_shards(shards, [&](int s) {
@@ -162,14 +224,13 @@ void Network::parallel_turns(NodeProgram& prog, int round,
     ctx.net_ = this;
     ctx.buf_ = &buf;
     ctx.round_ = round;
-    std::vector<Incoming> mail;
     for (std::size_t i = lo; i < hi; ++i) {
       const NodeId v = active[i];
-      mail.clear();
-      mail.swap(inbox_[static_cast<std::size_t>(v)]);
       ctx.self_ = v;
       try {
-        prog.round(v, mail, ctx);
+        // take_inbox clears v's slab length — race-free: v is owned by
+        // exactly one shard, and the slab itself is read-only this round.
+        prog.round(v, take_inbox(v), ctx);
       } catch (...) {
         buf.error = std::current_exception();
         buf.error_turn = i;
@@ -189,12 +250,16 @@ void Network::parallel_turns(NodeProgram& prog, int round,
   }
   // Replay sink notifications in merged (= serial) order. On error, replay
   // up to and including the faulting shard's accepted sends — exactly the
-  // prefix the serial engine would have emitted — then rethrow.
+  // prefix the serial engine would have emitted — then rethrow. With no
+  // sink installed only the counter matters, and whole arenas fold in O(1).
   const int replay_shards = stop < shards ? stop + 1 : shards;
   for (int s = 0; s < replay_shards; ++s) {
-    for (const auto& [to, inc] : shard_bufs_[static_cast<std::size_t>(s)].sends) {
-      ++messages_sent_;
-      if (active_sink_) active_sink_->on_send(round, inc.from, to, inc.msg);
+    const auto& sends = shard_bufs_[static_cast<std::size_t>(s)].sends;
+    messages_sent_ += static_cast<long long>(sends.size());
+    if (active_sink_) {
+      for (const auto& [to, inc] : sends) {
+        active_sink_->on_send(round, inc.from, to, inc.msg);
+      }
     }
   }
   if (stop < shards) {
@@ -216,18 +281,42 @@ long long Network::run_round_parallel(NodeProgram& prog, int round,
                                       const std::vector<NodeId>& active,
                                       int shards) {
   parallel_turns(prog, round, active, shards);
+  // Pass 1 (coordinator): counts and activations in serial staging order —
+  // shard 0..k-1, arena order within each shard — so first-arrival
+  // activation order matches the serial engine exactly.
+  recipients_.clear();
   long long delivered = 0;
   for (int s = 0; s < shards; ++s) {
-    for (const auto& [to, inc] : shard_bufs_[static_cast<std::size_t>(s)].sends) {
-      auto& box = inbox_[static_cast<std::size_t>(to)];
-      if (box.empty() && !woken_[static_cast<std::size_t>(to)]) {
-        woken_[static_cast<std::size_t>(to)] = 1;
-        active_next_.push_back(to);
+    const auto& sends = shard_bufs_[static_cast<std::size_t>(s)].sends;
+    for (const auto& [to, inc] : sends) {
+      count_delivery(to);
+      (void)inc;
+    }
+    delivered += static_cast<long long>(sends.size());
+  }
+  const std::uint32_t total = finish_offsets();
+  // Pass 2: scatter. Destination buckets partition the nodes, so bucket b's
+  // writes touch disjoint cursors and slab slices — each worker walks the
+  // shards in ascending order and its bucket's arena indices in turn order,
+  // reproducing the serial per-node inbox order exactly.
+  if (shards > 1 && total >= kParallelScatterThreshold) {
+    ThreadPool::instance().run_shards(shards, [&](int b) {
+      for (int s = 0; s < shards; ++s) {
+        const detail::ShardBuf& buf = shard_bufs_[static_cast<std::size_t>(s)];
+        for (const std::uint32_t idx : buf.by_bucket[static_cast<std::size_t>(b)]) {
+          const auto& [to, inc] = buf.sends[idx];
+          inbox_next_[cursor_[static_cast<std::size_t>(to)]++] = inc;
+        }
       }
-      box.push_back(inc);
-      ++delivered;
+    });
+  } else {
+    for (int s = 0; s < shards; ++s) {
+      for (const auto& [to, inc] : shard_bufs_[static_cast<std::size_t>(s)].sends) {
+        inbox_next_[cursor_[static_cast<std::size_t>(to)]++] = inc;
+      }
     }
   }
+  inbox_data_.swap(inbox_next_);
   return delivered;
 }
 
@@ -246,7 +335,7 @@ long long Network::run_round_faulted(NodeProgram& prog, int round,
   faulted_active_.clear();
   for (const NodeId v : active) {
     if (fi.crashed(round, v)) {
-      inbox_[static_cast<std::size_t>(v)].clear();
+      inbox_len_[static_cast<std::size_t>(v)] = 0;
       if (!crash_pending_flag_[static_cast<std::size_t>(v)]) {
         crash_pending_flag_[static_cast<std::size_t>(v)] = 1;
         crash_pending_.push_back(v);
@@ -288,36 +377,24 @@ long long Network::run_round_faulted(NodeProgram& prog, int round,
     ctx.net_ = this;
     ctx.round_ = round;
     for (const NodeId v : faulted_active_) {
-      auto& box = inbox_[static_cast<std::size_t>(v)];
-      std::vector<Incoming> mail;
-      mail.swap(box);
       ctx.self_ = v;
-      prog.round(v, mail, ctx);
+      prog.round(v, take_inbox(v), ctx);
     }
   }
   return deliver_faulted(round);
 }
 
 // Delivery stage of a faulted round: flush last round's stalled messages,
-// apply per-message fates to this round's staged sends, then permute the
-// touched inboxes the injector wants reordered.
+// apply per-message fates to this round's staged sends to build the
+// post-fate delivery sequence, slab-scatter it, then permute the inbox
+// slices the injector wants reordered (before the slab is swapped in).
 long long Network::deliver_faulted(int round) {
   FaultInjector& fi = *active_fault_;
-  long long delivered = 0;
-  touched_.clear();
-  const auto push = [&](NodeId to, const Incoming& inc) {
-    auto& box = inbox_[static_cast<std::size_t>(to)];
-    if (box.empty() && !woken_[static_cast<std::size_t>(to)]) {
-      woken_[static_cast<std::size_t>(to)] = 1;
-      active_next_.push_back(to);
-    }
-    box.push_back(inc);
-    touched_.push_back(to);
-    ++delivered;
-  };
+  fault_deliver_.clear();
   // Messages stalled in the previous round arrive now, ahead of this
   // round's traffic, in their original staging order.
-  for (const auto& [to, inc] : deferred_) push(to, inc);
+  fault_deliver_.insert(fault_deliver_.end(), deferred_.begin(),
+                        deferred_.end());
   deferred_.clear();
   for (const auto& [to, inc] : staged_) {
     switch (fi.fate(round, inc.from, to)) {
@@ -327,37 +404,78 @@ long long Network::deliver_faulted(int round) {
         deferred_next_.push_back({to, inc});
         break;
       case FaultInjector::Fate::kDuplicate:
-        push(to, inc);
-        push(to, inc);
+        fault_deliver_.push_back({to, inc});
+        fault_deliver_.push_back({to, inc});
         break;
       case FaultInjector::Fate::kDeliver:
-        push(to, inc);
+        fault_deliver_.push_back({to, inc});
         break;
     }
   }
   deferred_.swap(deferred_next_);
+  recipients_.clear();
+  for (const auto& [to, inc] : fault_deliver_) {
+    count_delivery(to);
+    (void)inc;
+  }
+  const std::uint32_t total = finish_offsets();
+  for (const auto& [to, inc] : fault_deliver_) {
+    inbox_next_[cursor_[static_cast<std::size_t>(to)]++] = inc;
+  }
   // Adversarial intra-round delivery order: deterministic permutation of
-  // each touched inbox (the inbox holds exactly this round's deliveries —
-  // turns consume mail by swap, so nothing older can be shuffled in).
-  std::sort(touched_.begin(), touched_.end());
-  touched_.erase(std::unique(touched_.begin(), touched_.end()),
-                 touched_.end());
-  for (const NodeId to : touched_) {
+  // each recipient's slab slice (the slice holds exactly this round's
+  // deliveries — turns consume mail by slab swap, so nothing older can be
+  // shuffled in). The injector answers as a pure function, so querying in
+  // first-arrival rather than sorted order changes nothing.
+  for (const NodeId to : recipients_) {
     if (const std::uint64_t s = fi.reorder_seed(round, to)) {
       Rng rng(s);
-      rng.shuffle(inbox_[static_cast<std::size_t>(to)]);
+      const auto i = static_cast<std::size_t>(to);
+      rng.shuffle(inbox_next_.data() + inbox_off_[i], inbox_len_[i]);
     }
   }
-  return delivered;
+  inbox_data_.swap(inbox_next_);
+  return static_cast<long long>(total);
+}
+
+// Round-fusion fast path over a fault gap: every remaining event is a
+// parked crashed node, so each unfused round would only re-query crashed()
+// per parked node, deliver nothing, and tick the sinks. Look ahead with the
+// injector's pure next_alive_round hint, then advance to the earliest
+// restart in one step — replaying the exact per-round query sequence
+// (every parked node, in crash_pending_ order) so injector accounting and
+// sink round accounting stay byte-identical to the unfused engine.
+// Returns the round to resume normal execution at (== round: no fusion).
+int Network::fuse_fault_gap(int round, int max_rounds) {
+  FaultInjector& fi = *active_fault_;
+  int horizon = max_rounds;
+  for (const NodeId v : crash_pending_) {
+    horizon = std::min(horizon, fi.next_alive_round(round, v));
+    // Default hint (or an imminent restart): nothing to fuse.
+    if (horizon <= round) return round;
+  }
+  for (int r = round; r < horizon; ++r) {
+    for (const NodeId v : crash_pending_) {
+      const bool still_crashed = fi.crashed(r, v);
+      PLANSEP_CHECK_MSG(still_crashed,
+                        "FaultInjector::next_alive_round overshot the "
+                        "restart round");
+    }
+    ++fused_rounds_;
+    if (active_sink_) active_sink_->on_round_end(r, 0, 0);
+  }
+  return horizon;
 }
 
 int Network::run(NodeProgram& prog, int max_rounds) {
-  for (auto& b : inbox_) b.clear();
+  std::fill(inbox_len_.begin(), inbox_len_.end(), 0);
   std::fill(woken_.begin(), woken_.end(), 0);
   std::fill(sent_round_.begin(), sent_round_.end(), -1);
   active_next_.clear();
   staged_.clear();
+  recipients_.clear();
   messages_sent_ = 0;
+  fused_rounds_ = 0;
   // Consider the PLANSEP_METRICS env bootstrap (obs/) before resolving the
   // global sink, so env-enabled metrics observe every run in the process
   // even when no other obs entry point was reached first. One static-guard
@@ -390,6 +508,14 @@ int Network::run(NodeProgram& prog, int max_rounds) {
   while ((!active.empty() ||
           (active_fault_ && (!deferred_.empty() || !crash_pending_.empty()))) &&
          round < max_rounds) {
+    if (active.empty() && active_fault_ && cfg_.fuse_rounds &&
+        deferred_.empty() && !crash_pending_.empty()) {
+      const int fused_to = fuse_fault_gap(round, max_rounds);
+      if (fused_to > round) {
+        round = fused_to;
+        continue;
+      }
+    }
     active_next_.clear();
     long long delivered = 0;
     if (active_fault_) {
@@ -401,26 +527,15 @@ int Network::run(NodeProgram& prog, int max_rounds) {
       delivered = run_round_parallel(prog, round, active, shards);
     } else {
       staged_.clear();
+      ctx.round_ = round;
       for (NodeId v : active) {
-        auto& box = inbox_[static_cast<std::size_t>(v)];
-        std::vector<Incoming> mail;
-        mail.swap(box);
         ctx.self_ = v;
-        ctx.round_ = round;
-        prog.round(v, mail, ctx);
+        prog.round(v, take_inbox(v), ctx);
       }
       // Deliver staged messages; recipients become active next round.
-      for (auto& [to, inc] : staged_) {
-        auto& box = inbox_[static_cast<std::size_t>(to)];
-        if (box.empty() && !woken_[static_cast<std::size_t>(to)]) {
-          woken_[static_cast<std::size_t>(to)] = 1;
-          active_next_.push_back(to);
-        }
-        box.push_back(inc);
-      }
-      delivered = static_cast<long long>(staged_.size());
+      delivered = deliver_serial();
     }
-    active = active_next_;
+    active.swap(active_next_);
     for (NodeId v : active) woken_[static_cast<std::size_t>(v)] = 0;
     if (active_sink_) {
       active_sink_->on_round_end(round, static_cast<int>(active.size()),

@@ -17,10 +17,18 @@
 // regions cost nothing. The network stops at global quiescence (no
 // messages in flight, no wake-ups) or after max_rounds.
 //
+// Storage is structure-of-arrays: one flat delivery slab per round
+// (contiguous Incoming records grouped by recipient, addressed by per-node
+// offset/length arrays) instead of per-node inbox vectors, so a round's
+// mail is two contiguous streams — one written at delivery, one read at
+// the turns — with no per-node allocation anywhere on the hot path
+// (DESIGN.md §7).
+//
 // Rounds with many active nodes can execute in parallel (set_threads /
 // PLANSEP_THREADS): active nodes are sharded over a reusable thread pool,
-// outgoing messages are staged in per-shard buffers and merged in the
-// serial execution order, so a k-thread run is bit-identical to the serial
+// outgoing messages are staged in pooled per-shard arenas — grouped by
+// destination bucket as they are written — and merged in the serial
+// execution order, so a k-thread run is bit-identical to the serial
 // engine — same traces, same costs, same exceptions (DESIGN.md §7).
 //
 // The clean model can be bent on purpose: an opt-in FaultInjector hook
@@ -29,10 +37,15 @@
 // docs/FAULT_MODEL.md). With no injector installed the engine pays one
 // branch per round; with one installed, fault decisions are applied on the
 // coordinating thread in serial order, so runs stay bit-identical across
-// thread counts even under an active plan.
+// thread counts even under an active plan. Rounds in which the network
+// only waits out crash intervals (no active nodes, no stalled mail) can be
+// round-fused: the engine advances the clock over the whole gap in one
+// step while keeping sink callbacks and injector accounting exact
+// (ThreadConfig::fuse_rounds, FaultInjector::next_alive_round).
 
 #include <cstdint>
 #include <exception>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -59,20 +72,32 @@ struct Incoming {
   Message msg;                    ///< the message itself
 };
 
+/// A node's inbox for one round: a read-only contiguous slice of the
+/// network's flat delivery slab. Valid only for the duration of the
+/// round() call it is handed to.
+using InboxView = std::span<const Incoming>;
+
 class Network;
 
 namespace detail {
-/// Per-shard staging area of one parallel round: outgoing messages and
-/// wake-ups in the shard's execution order, plus the first exception the
-/// shard hit (and the global turn index it occurred at). Pooled on the
-/// Network — cleared, never reallocated, between rounds.
+/// Per-shard staging arena of one parallel round: outgoing messages in the
+/// shard's execution order, per-destination-bucket index lists into that
+/// arena (written in the same pass as the sends, so delivery can scatter
+/// bucket-parallel without re-sorting), wake-ups, and the first exception
+/// the shard hit. Pooled on the Network — cleared, never reallocated,
+/// between rounds.
 struct ShardBuf {
   std::vector<std::pair<NodeId, Incoming>> sends;
+  std::vector<std::vector<std::uint32_t>> by_bucket;  // indices into sends
   std::vector<NodeId> wakes;
   std::exception_ptr error;
   std::size_t error_turn = 0;
-  void reset() {
+  void reset(int buckets) {
     sends.clear();
+    if (static_cast<int>(by_bucket.size()) < buckets) {
+      by_bucket.resize(static_cast<std::size_t>(buckets));
+    }
+    for (auto& b : by_bucket) b.clear();
     wakes.clear();
     error = nullptr;
     error_turn = 0;
@@ -97,7 +122,8 @@ class TraceSink {
   virtual void on_send(int round, NodeId from, NodeId to,
                        const Message& msg) = 0;
   /// A round finished: `activated` nodes will run next round, `delivered`
-  /// messages were staged this round.
+  /// messages were staged this round. Round-fused gaps still report every
+  /// fused round here (with 0/0), so round accounting stays exact.
   virtual void on_round_end(int round, int activated, long long delivered) {
     (void)round, (void)activated, (void)delivered;
   }
@@ -163,6 +189,19 @@ class FaultInjector {
   /// with this seed (adversarial intra-round delivery order). Zero: keep
   /// the canonical serial delivery order.
   virtual std::uint64_t reorder_seed(int round, NodeId to) = 0;
+
+  /// Pure lookahead for the round-fusion fast path: the first round
+  /// r >= `round` in which the (currently parked) node v is not crashed.
+  /// Must be side-effect-free — the engine separately replays crashed()
+  /// for every fused round so injection accounting stays exact — and must
+  /// never overshoot the true restart round; undershooting (returning
+  /// `round` itself) is always safe and merely disables fusion for this
+  /// node. The default disables fusion, so existing injectors keep their
+  /// exact behavior without changes.
+  virtual int next_alive_round(int round, NodeId v) {
+    (void)v;
+    return round;
+  }
 };
 
 /// Installs a process-wide fault injector that every Network picks up at
@@ -173,7 +212,7 @@ FaultInjector* set_global_fault_injector(FaultInjector* injector);
 /// The current process-wide injector (nullptr when faults are disabled).
 FaultInjector* global_fault_injector();
 
-/// Round-execution parallelism knobs.
+/// Round-execution engine knobs.
 struct ThreadConfig {
   /// Worker shards per round; 1 = the serial engine.
   int threads = 1;
@@ -181,18 +220,25 @@ struct ThreadConfig {
   /// threads > 1 (identical results either way; purely a latency knob —
   /// sharding a near-empty round costs more than it saves).
   int min_active_to_parallelize = 64;
+  /// Round fusion: advance fault-gap rounds (no active nodes, no stalled
+  /// mail, only parked crashed nodes) in one step instead of grinding the
+  /// full round machinery per round. Observationally identical either way
+  /// (sink callbacks and injector accounting are replayed per fused
+  /// round); purely a throughput knob. PLANSEP_FUSION=0 disables.
+  bool fuse_rounds = true;
 };
 
 /// Process-wide default every Network adopts at construction. Initialized
-/// once from the environment: PLANSEP_THREADS (shards) and
-/// PLANSEP_PAR_THRESHOLD (min active nodes). Returns the previous config.
+/// once from the environment: PLANSEP_THREADS (shards), PLANSEP_PAR_THRESHOLD
+/// (min active nodes) and PLANSEP_FUSION (round fusion; "0" disables).
+/// Returns the previous config.
 ThreadConfig set_default_thread_config(const ThreadConfig& cfg);
 /// The current process-wide default thread configuration.
 ThreadConfig default_thread_config();
 
 /// RAII override of the process default — the way tests force pipelines
 /// whose networks are constructed internally onto the parallel (or serial)
-/// path. Restores the previous default on destruction.
+/// path. Restores the previous default on destruction; scopes nest.
 class ScopedThreadConfig {
  public:
   /// Installs cfg as the process default for the scope's lifetime.
@@ -239,7 +285,9 @@ class NodeProgram {
   /// coordinating thread; whole-program state is set up here.
   virtual std::vector<NodeId> initial_nodes(const EmbeddedGraph& g) = 0;
 
-  /// Invoked for every node that has mail or requested a wake-up.
+  /// Invoked for every node that has mail or requested a wake-up. The
+  /// inbox view aliases the network's delivery slab and dies with the
+  /// call — copy out anything that must survive the turn.
   ///
   /// Concurrency contract: round(v, ...) may read shared immutable state
   /// (the graph, config) but must only *mutate* state keyed by v — the
@@ -247,8 +295,7 @@ class NodeProgram {
   /// concurrently when the network executes with threads > 1; the CONGEST
   /// model itself demands this locality (nodes share no memory), so a
   /// conforming protocol satisfies it for free.
-  virtual void round(NodeId v, const std::vector<Incoming>& inbox,
-                     Ctx& ctx) = 0;
+  virtual void round(NodeId v, InboxView inbox, Ctx& ctx) = 0;
 };
 
 /// The simulator: executes NodeProgram rounds over an embedded graph with
@@ -281,6 +328,11 @@ class Network {
   int threads() const { return cfg_.threads; }
   /// Minimum active nodes for a round to go parallel (see ThreadConfig).
   void set_min_active_to_parallelize(int min_active);
+  /// Enables/disables the round-fusion fast path (see ThreadConfig).
+  void set_round_fusion(bool on) { cfg_.fuse_rounds = on; }
+  /// Rounds the last run() advanced through the fused fast path (0 when
+  /// fusion never fired or is disabled; always <= the returned rounds).
+  long long fused_rounds() const { return fused_rounds_; }
 
  private:
   friend class Ctx;
@@ -288,13 +340,30 @@ class Network {
   void do_send(NodeId from, NodeId to, const Message& msg, int round);
   void do_send_staged(detail::ShardBuf& buf, NodeId from, NodeId to,
                       const Message& msg, int round);
+  int bucket_of(NodeId to) const {
+    return static_cast<int>(static_cast<long long>(to) * buckets_ /
+                            static_cast<long long>(num_nodes_));
+  }
+  InboxView take_inbox(NodeId v) {
+    const auto i = static_cast<std::size_t>(v);
+    const InboxView mail(inbox_data_.data() + inbox_off_[i], inbox_len_[i]);
+    inbox_len_[i] = 0;  // consumed; v is owned by exactly one shard
+    return mail;
+  }
+  // Delivery-slab builders. count_delivery feeds one accepted message into
+  // the per-node length counters + activation bookkeeping (pass 1);
+  // finish_offsets turns the counters into slab offsets and write cursors.
+  void count_delivery(NodeId to);
+  std::uint32_t finish_offsets();
   void parallel_turns(NodeProgram& prog, int round,
                       const std::vector<NodeId>& active, int shards);
   long long run_round_parallel(NodeProgram& prog, int round,
                                const std::vector<NodeId>& active, int shards);
+  long long deliver_serial();
   long long run_round_faulted(NodeProgram& prog, int round,
                               const std::vector<NodeId>& active);
   long long deliver_faulted(int round);
+  int fuse_fault_gap(int round, int max_rounds);
 
   const EmbeddedGraph* g_;
   TraceSink* sink_ = nullptr;
@@ -303,21 +372,31 @@ class Network {
   FaultInjector* active_fault_ = nullptr;  // resolved at run() entry
   ThreadConfig cfg_;
   long long messages_sent_ = 0;
-  // Per-round delivery state.
-  std::vector<std::vector<Incoming>> inbox_;
+  long long fused_rounds_ = 0;
+  long long num_nodes_ = 1;  // cached for bucket_of
+  int buckets_ = 1;          // destination buckets of the current round
+  // Flat delivery slabs (double-buffered): node v's mail this round is
+  // inbox_data_[inbox_off_[v] .. +inbox_len_[v]). inbox_next_ is the slab
+  // under construction at the delivery stage; the two swap each round.
+  std::vector<Incoming> inbox_data_;
+  std::vector<Incoming> inbox_next_;
+  std::vector<std::uint32_t> inbox_off_;
+  std::vector<std::uint32_t> inbox_len_;
+  std::vector<std::uint32_t> cursor_;     // per-node scatter write positions
+  std::vector<NodeId> recipients_;        // first-arrival order, this round
   std::vector<char> woken_;
   std::vector<NodeId> active_next_;
-  std::vector<std::pair<NodeId, Incoming>> staged_;
-  std::vector<detail::ShardBuf> shard_bufs_;  // pooled parallel staging
+  std::vector<std::pair<NodeId, Incoming>> staged_;  // serial/fault staging
+  std::vector<detail::ShardBuf> shard_bufs_;  // pooled parallel arenas
   // Per (from -> to) sent-this-round guard, keyed by dart id.
   std::vector<int> sent_round_;
   // Fault-path state (touched only while a FaultInjector is active).
   std::vector<std::pair<NodeId, Incoming>> deferred_;       // arriving this round
   std::vector<std::pair<NodeId, Incoming>> deferred_next_;  // stalled this round
+  std::vector<std::pair<NodeId, Incoming>> fault_deliver_;  // post-fate sequence
   std::vector<NodeId> faulted_active_;  // this round's survivors + restarts
   std::vector<NodeId> crash_pending_;   // parked until their crash ends
   std::vector<char> crash_pending_flag_;
-  std::vector<NodeId> touched_;  // inboxes delivered to (reorder targets)
 };
 
 }  // namespace plansep::congest

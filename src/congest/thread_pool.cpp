@@ -43,6 +43,11 @@ void ThreadPool::worker_loop() {
   }
 }
 
+int ThreadPool::worker_count() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int>(workers_.size());
+}
+
 void ThreadPool::run_shards(int shards, const std::function<void(int)>& fn) {
   PLANSEP_CHECK(shards >= 1);
   if (shards == 1) {

@@ -29,6 +29,10 @@ class ThreadPool {
   /// their shard state and rethrow after the barrier (network.cpp does).
   void run_shards(int shards, const std::function<void(int)>& fn);
 
+  /// Workers spawned so far (grows on demand, never shrinks; the calling
+  /// thread is not counted — k shards need k-1 workers).
+  int worker_count();
+
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;

@@ -61,6 +61,7 @@ class FaultController final : public congest::FaultInjector {
   bool crashed(int round, NodeId v) override;
   Fate fate(int round, NodeId from, NodeId to) override;
   std::uint64_t reorder_seed(int round, NodeId to) override;
+  int next_alive_round(int round, NodeId v) override;
 
   /// The intensity knobs this controller injects at.
   const FaultSpec& spec() const { return spec_; }

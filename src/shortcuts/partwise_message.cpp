@@ -14,6 +14,7 @@ namespace {
 using congest::Ctx;
 using congest::EmbeddedGraph;
 using congest::Incoming;
+using congest::InboxView;
 using congest::Message;
 using congest::NodeId;
 
@@ -71,7 +72,7 @@ class PartwiseProgram : public congest::NodeProgram {
     return all;
   }
 
-  void round(NodeId v, const std::vector<Incoming>& inbox, Ctx& ctx) override {
+  void round(NodeId v, InboxView inbox, Ctx& ctx) override {
     auto& s = state_[static_cast<std::size_t>(v)];
     bool progress = false;
     for (const Incoming& in : inbox) {

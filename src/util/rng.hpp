@@ -30,14 +30,20 @@ class Rng {
   /// Bernoulli trial with success probability p.
   bool next_bool(double p = 0.5);
 
+  /// Fisher–Yates shuffle of a contiguous range (e.g. a slab slice).
+  template <typename T>
+  void shuffle(T* data, std::size_t n) {
+    for (std::size_t i = n; i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(data[i - 1], data[j]);
+    }
+  }
+
   /// Fisher–Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) {
-    for (std::size_t i = v.size(); i > 1; --i) {
-      std::size_t j = static_cast<std::size_t>(next_below(i));
-      using std::swap;
-      swap(v[i - 1], v[j]);
-    }
+    shuffle(v.data(), v.size());
   }
 
  private:

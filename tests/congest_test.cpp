@@ -9,6 +9,8 @@
 
 #include "congest/bfs_tree.hpp"
 #include "congest/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
 #include "planar/generators.hpp"
 #include "shortcuts/partwise.hpp"
 #include "shortcuts/partwise_message.hpp"
@@ -39,7 +41,7 @@ TEST(Network, BandwidthViolationThrows) {
     std::vector<NodeId> initial_nodes(const planar::EmbeddedGraph&) override {
       return {0};
     }
-    void round(NodeId, const std::vector<congest::Incoming>&,
+    void round(NodeId, congest::InboxView,
                congest::Ctx& ctx) override {
       congest::Message m;
       ctx.send(1, m);
@@ -60,7 +62,7 @@ TEST(Network, MaxRoundsCutsOffRunawayProgram) {
     std::vector<NodeId> initial_nodes(const planar::EmbeddedGraph&) override {
       return {0};
     }
-    void round(NodeId, const std::vector<congest::Incoming>&,
+    void round(NodeId, congest::InboxView,
                congest::Ctx& ctx) override {
       ctx.wake_next_round();
       ++rounds_seen;
@@ -85,7 +87,7 @@ TEST(Network, QuiescesAfterSilentWakeUps) {
     std::vector<NodeId> initial_nodes(const planar::EmbeddedGraph&) override {
       return {2};
     }
-    void round(NodeId, const std::vector<congest::Incoming>& inbox,
+    void round(NodeId, congest::InboxView inbox,
                congest::Ctx& ctx) override {
       EXPECT_TRUE(inbox.empty());  // nobody ever sends
       if (++ticks < 5) ctx.wake_next_round();
@@ -137,7 +139,7 @@ TEST(ParallelNetwork, BfsTraceBitIdenticalToSerial) {
       return std::make_pair(rec.events(), bfs);
     };
     const auto [serial, s_bfs] = capture({1, 64});
-    for (int k : {2, 3, 4, 7}) {
+    for (int k : {2, 3, 4, 7, 8}) {
       const auto [par, p_bfs] = capture(parallel_cfg(k));
       EXPECT_EQ(plansep::testing::first_divergence(serial, par), -1)
           << planar::family_name(f) << " k=" << k << "\n"
@@ -171,11 +173,96 @@ TEST(ParallelNetwork, AggregationTraceBitIdenticalToSerial) {
     return std::make_pair(rec.events(), res);
   };
   const auto [serial, s_res] = capture({1, 64});
-  for (int k : {2, 4}) {
+  for (int k : {2, 4, 8}) {
     const auto [par, p_res] = capture(parallel_cfg(k));
     EXPECT_EQ(plansep::testing::first_divergence(serial, par), -1)
         << "k=" << k << "\n" << plansep::testing::diff_traces(serial, par);
     EXPECT_EQ(s_res.value, p_res.value);
+    EXPECT_EQ(s_res.rounds, p_res.rounds);
+    EXPECT_EQ(s_res.messages, p_res.messages);
+  }
+}
+
+TEST(ParallelNetwork, LargeInstancesBitIdenticalAcrossThreadCounts) {
+  // The scaled-up equivalence tier: every generator family at n >= 50000,
+  // serial vs sharded runs agreeing byte-for-byte on the full message
+  // trace, the rendered metrics JSON (ScopedMetrics chains over the trace
+  // capture, so one run yields both), and every BFS observable. This is
+  // the size regime where the SoA slab delivery, the pooled shard arenas
+  // and the bucketed scatter actually engage (kParallelScatterThreshold),
+  // so equality here pins the whole hot path, not just the small-n merge.
+  //
+  // High-degree families (star, wheel: hub degree ~n, so find_dart costs
+  // O(n) per hub send) compare serial vs 8 shards only; bounded-degree
+  // families sweep {2, 4, 8}.
+  for (planar::Family f : planar::all_families()) {
+    const bool high_degree =
+        f == planar::Family::kStar || f == planar::Family::kWheel;
+    const GeneratedGraph gg = planar::make_instance(f, 51000, 3);
+    ASSERT_GE(gg.graph.num_nodes(), 50000) << planar::family_name(f);
+    auto capture = [&](const congest::ThreadConfig& cfg) {
+      congest::ScopedThreadConfig guard(cfg);
+      plansep::testing::TraceRecorder rec;
+      obs::MetricsRegistry reg;
+      BfsResult bfs;
+      {
+        plansep::testing::ScopedTraceCapture cap(rec);
+        obs::ScopedMetrics metrics(reg);
+        bfs = distributed_bfs(gg.graph, gg.root_hint);
+      }
+      return std::make_tuple(rec.events(), reg.to_json(), bfs);
+    };
+    const auto [s_ev, s_json, s_bfs] = capture({1, 64});
+    ASSERT_GT(s_ev.size(), 0u) << planar::family_name(f);
+    for (int k : high_degree ? std::vector<int>{8} : std::vector<int>{2, 4, 8}) {
+      const auto [p_ev, p_json, p_bfs] = capture(parallel_cfg(k));
+      // first_divergence over ~10^5-10^6 events; the full diff would be
+      // unreadable, so report only the diverging index.
+      EXPECT_EQ(plansep::testing::first_divergence(s_ev, p_ev), -1)
+          << planar::family_name(f) << " k=" << k;
+      EXPECT_EQ(s_json, p_json) << planar::family_name(f) << " k=" << k;
+      EXPECT_EQ(s_bfs.depth, p_bfs.depth) << planar::family_name(f);
+      EXPECT_EQ(s_bfs.height, p_bfs.height);
+      EXPECT_EQ(s_bfs.rounds, p_bfs.rounds);
+      EXPECT_EQ(s_bfs.messages, p_bfs.messages);
+    }
+  }
+}
+
+TEST(ParallelNetwork, LargeAggregationBitIdenticalAcrossThreadCounts) {
+  // The heaviest round handler at scale: message-level aggregation over a
+  // 50k-node triangulation, serial vs {2, 4, 8} shards — values, traces
+  // and metrics all byte-equal. Complements the small-n aggregation test
+  // above, which can't reach the bucketed-scatter regime.
+  const GeneratedGraph gg =
+      planar::make_instance(planar::Family::kTriangulation, 50000, 7);
+  ASSERT_GE(gg.graph.num_nodes(), 50000);
+  const BfsResult tree = distributed_bfs(gg.graph, gg.root_hint);
+  std::vector<int> part(gg.graph.num_nodes());
+  std::vector<std::int64_t> value(gg.graph.num_nodes());
+  for (NodeId v = 0; v < gg.graph.num_nodes(); ++v) {
+    part[v] = v % 32;
+    value[v] = (11 * v) % 257;
+  }
+  auto capture = [&](const congest::ThreadConfig& cfg) {
+    congest::ScopedThreadConfig guard(cfg);
+    plansep::testing::TraceRecorder rec;
+    obs::MetricsRegistry reg;
+    shortcuts::MessageAggregateResult res;
+    {
+      plansep::testing::ScopedTraceCapture cap(rec);
+      obs::ScopedMetrics metrics(reg);
+      res = shortcuts::message_level_aggregate(gg.graph, tree, part, value,
+                                               shortcuts::AggOp::kSum);
+    }
+    return std::make_tuple(rec.events(), reg.to_json(), res);
+  };
+  const auto [s_ev, s_json, s_res] = capture({1, 64});
+  for (int k : {2, 4, 8}) {
+    const auto [p_ev, p_json, p_res] = capture(parallel_cfg(k));
+    EXPECT_EQ(plansep::testing::first_divergence(s_ev, p_ev), -1) << "k=" << k;
+    EXPECT_EQ(s_json, p_json) << "k=" << k;
+    EXPECT_EQ(s_res.value, p_res.value) << "k=" << k;
     EXPECT_EQ(s_res.rounds, p_res.rounds);
     EXPECT_EQ(s_res.messages, p_res.messages);
   }
@@ -193,7 +280,7 @@ TEST(ParallelNetwork, BandwidthViolationThrowsExactlyOnceUnderThreads) {
       for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
       return all;  // every node active, so every shard has work
     }
-    void round(NodeId v, const std::vector<congest::Incoming>&,
+    void round(NodeId v, congest::InboxView,
                congest::Ctx& ctx) override {
       congest::Message m;
       if (v == 7) {  // one offender mid-active-set
@@ -223,7 +310,7 @@ TEST(ParallelNetwork, BandwidthViolationThrowsExactlyOnceUnderThreads) {
       std::vector<NodeId> initial_nodes(const planar::EmbeddedGraph&) override {
         return {0};
       }
-      void round(NodeId v, const std::vector<congest::Incoming>&,
+      void round(NodeId v, congest::InboxView,
                  congest::Ctx& ctx) override {
         if (v != 0) return;  // recipients just absorb the message
         congest::Message m;
@@ -251,7 +338,7 @@ TEST(ParallelNetwork, QuiescenceAndMaxRoundsMatchSerial) {
       for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
       return all;
     }
-    void round(NodeId v, const std::vector<congest::Incoming>&,
+    void round(NodeId v, congest::InboxView,
                congest::Ctx& ctx) override {
       if (++ticks[v] < 4 + v % 3) ctx.wake_next_round();
     }

@@ -107,8 +107,8 @@ TEST(ProptestPipeline, TraceCaptureIsDeterministicAndDiffable) {
 TEST(ProptestPipeline, ParallelPipelineTraceEquivalentToSerial) {
   // For every generator family: the full pipeline (engine setup BFS waves
   // plus the message-level aggregation protocol) run serially and with the
-  // 4-thread round executor must produce byte-identical CONGEST traces.
-  // first_divergence pinpoints the first mismatched message if not.
+  // k-thread round executor, k in {2, 4, 8}, must produce byte-identical
+  // CONGEST traces. first_divergence pinpoints the first mismatch if not.
   const Property par_equiv = [](const Instance& inst, InvariantReport& rep) {
     auto capture = [&](const congest::ThreadConfig& cfg) {
       congest::ScopedThreadConfig guard(cfg);
@@ -133,14 +133,18 @@ TEST(ProptestPipeline, ParallelPipelineTraceEquivalentToSerial) {
       return std::make_pair(rec.events(), inner.to_string());
     };
     const auto [serial, serial_rep] = capture({1, 64});
-    const auto [par, par_rep] = capture({4, 0});
     if (serial.empty()) rep.fail("serial run captured no trace");
-    const int at = first_divergence(serial, par);
-    if (at != -1) {
-      rep.fail("serial vs 4-thread divergence:\n" + diff_traces(serial, par));
-    }
-    if (serial_rep != par_rep) {
-      rep.fail("oracle reports differ between serial and 4-thread runs");
+    for (const int k : {2, 4, 8}) {
+      const auto [par, par_rep] = capture({k, 0});
+      const int at = first_divergence(serial, par);
+      if (at != -1) {
+        rep.fail("serial vs " + std::to_string(k) + "-thread divergence:\n" +
+                 diff_traces(serial, par));
+      }
+      if (serial_rep != par_rep) {
+        rep.fail("oracle reports differ between serial and " +
+                 std::to_string(k) + "-thread runs");
+      }
     }
   };
 
@@ -162,7 +166,7 @@ TEST(ProptestPipeline, ParallelPipelineMetricsByteIdenticalToSerial) {
   // Acceptance bar for the observability subsystem: the metrics JSON —
   // merged round clock, message counter, congestion histograms, span
   // timeline with notes — must be byte-identical between a serial run and
-  // a 4-thread round-engine run, for every generator family. The sink
+  // a k-thread run for k in {2, 4, 8}, for every generator family. The sink
   // replay order and the coordinator-thread-only span discipline make this
   // hold exactly, not approximately.
   const Property metrics_equiv = [](const Instance& inst,
@@ -180,18 +184,20 @@ TEST(ProptestPipeline, ParallelPipelineMetricsByteIdenticalToSerial) {
       return reg.to_json();
     };
     const std::string serial = measure({1, 64});
-    const std::string par = measure({4, 0});
     if (serial.find("\"name\"") == std::string::npos) {
       rep.fail("serial run recorded no spans");
     }
-    if (serial != par) {
+    for (const int k : {2, 4, 8}) {
+      const std::string par = measure({k, 0});
+      if (serial == par) continue;
       // Find the first differing line for a readable report.
       std::size_t line_start = 0;
       for (std::size_t i = 0; i < std::min(serial.size(), par.size()); ++i) {
         if (serial[i] != par[i]) break;
         if (serial[i] == '\n') line_start = i + 1;
       }
-      rep.fail("serial vs 4-thread metrics JSON diverge near: " +
+      rep.fail("serial vs " + std::to_string(k) +
+               "-thread metrics JSON diverge near: " +
                serial.substr(line_start, 160));
     }
   };

@@ -1,0 +1,250 @@
+// Tests for the worker pool behind the parallel round executor and for
+// the engine edge cases the pool must survive: more shards than active
+// nodes, empty rounds with in-flight messages, nested ScopedThreadConfig
+// overrides, earliest-error rethrow across shards, and arena reuse across
+// repeated runs of the same Network.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "congest/bfs_tree.hpp"
+#include "congest/network.hpp"
+#include "congest/thread_pool.hpp"
+#include "planar/generators.hpp"
+#include "testing/trace.hpp"
+#include "util/check.hpp"
+
+namespace plansep::congest {
+namespace {
+
+using planar::GeneratedGraph;
+using testing::TraceRecorder;
+
+// ------------------------------------------------------------ raw pool --
+
+TEST(ThreadPool, CoversEveryShardExactlyOnce) {
+  constexpr int kShards = 32;
+  std::vector<std::atomic<int>> hits(kShards);
+  for (auto& h : hits) h.store(0);
+  ThreadPool::instance().run_shards(kShards,
+                                    [&](int shard) { hits[shard]++; });
+  for (int s = 0; s < kShards; ++s) {
+    EXPECT_EQ(hits[s].load(), 1) << "shard " << s;
+  }
+  // k shards need k-1 workers; the pool grows on demand and keeps them.
+  EXPECT_GE(ThreadPool::instance().worker_count(), kShards - 1);
+}
+
+TEST(ThreadPool, SingleShardRunsInlineAndZeroShardsIsAnError) {
+  std::thread::id ran_on;
+  ThreadPool::instance().run_shards(
+      1, [&](int) { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, std::this_thread::get_id())
+      << "one shard must not pay a barrier";
+  EXPECT_THROW(ThreadPool::instance().run_shards(0, [](int) {}),
+               plansep::CheckError);
+}
+
+TEST(ThreadPool, ReusedAcrossManyBarriersWithoutGrowth) {
+  constexpr int kShards = 8;
+  constexpr int kReps = 200;
+  std::atomic<long long> total{0};
+  ThreadPool::instance().run_shards(kShards, [&](int) { total++; });
+  const int workers_after_first = ThreadPool::instance().worker_count();
+  for (int rep = 1; rep < kReps; ++rep) {
+    ThreadPool::instance().run_shards(kShards, [&](int) { total++; });
+  }
+  EXPECT_EQ(total.load(), static_cast<long long>(kShards) * kReps);
+  EXPECT_EQ(ThreadPool::instance().worker_count(), workers_after_first)
+      << "repeat barriers at the same width must not spawn new workers";
+}
+
+// ------------------------------------------------------- engine edges --
+
+// v -> v+1 ping down a path, recording (round, payload) per node.
+class Ping : public NodeProgram {
+ public:
+  explicit Ping(int sends) : sends_(sends) {}
+  std::vector<NodeId> initial_nodes(const planar::EmbeddedGraph& g) override {
+    received.assign(static_cast<std::size_t>(g.num_nodes()), {});
+    return {0};
+  }
+  void round(NodeId v, InboxView inbox, Ctx& ctx) override {
+    for (const auto& inc : inbox) {
+      received[static_cast<std::size_t>(v)].push_back(
+          {ctx.round(), inc.msg.a});
+    }
+    if (v == 0 && ctx.round() < sends_) {
+      Message m;
+      m.a = ctx.round();
+      ctx.send(1, m);
+      if (ctx.round() + 1 < sends_) ctx.wake_next_round();
+    }
+  }
+  std::vector<std::vector<std::pair<int, std::int64_t>>> received;
+
+ private:
+  int sends_ = 1;
+};
+
+// Stalls every message by one round — manufactures rounds where no node
+// is active but messages are still in flight.
+class StallAll : public FaultInjector {
+ public:
+  bool crashed(int, NodeId) override { return false; }
+  Fate fate(int, NodeId, NodeId) override { return Fate::kStall; }
+  std::uint64_t reorder_seed(int, NodeId) override { return 0; }
+};
+
+TEST(ParallelNetwork, ShardsMayExceedActiveNodes) {
+  // 8 shards over at most 4 nodes: most shards get empty slices every
+  // round and the run must still be bit-identical to serial.
+  const GeneratedGraph gg = planar::path(4);
+  const auto capture = [&](int threads) {
+    ScopedThreadConfig tc({threads, 0});
+    TraceRecorder rec;
+    testing::ScopedTraceCapture cap(rec);
+    distributed_bfs(gg.graph, gg.root_hint);
+    return rec.events();
+  };
+  const auto serial = capture(1);
+  const auto wide = capture(8);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(testing::first_divergence(wide, serial), -1)
+      << testing::diff_traces(wide, serial);
+}
+
+TEST(ParallelNetwork, EmptyRoundsWithInFlightMessages) {
+  // A stalled send leaves round 1 with no active node but a message in
+  // flight; the parallel engine must keep the run alive and deliver in
+  // round 2, exactly like the serial engine.
+  const GeneratedGraph gg = planar::path(3);
+  const auto run = [&](int threads) {
+    congest::Network net(gg.graph);
+    net.set_threads(threads);
+    net.set_min_active_to_parallelize(0);
+    StallAll stall;
+    net.set_fault_injector(&stall);
+    Ping prog(1);
+    net.run(prog, 16);
+    return prog.received;
+  };
+  const auto serial = run(1);
+  const auto wide = run(8);
+  ASSERT_EQ(serial[1].size(), 1u);
+  EXPECT_EQ(serial[1][0].first, 2);
+  EXPECT_EQ(wide, serial);
+}
+
+TEST(ParallelNetwork, NestedScopedThreadConfigRestores) {
+  const ThreadConfig base = default_thread_config();
+  {
+    ScopedThreadConfig outer({4, 16, false});
+    EXPECT_EQ(default_thread_config().threads, 4);
+    EXPECT_EQ(default_thread_config().min_active_to_parallelize, 16);
+    EXPECT_FALSE(default_thread_config().fuse_rounds);
+    {
+      ScopedThreadConfig inner({8, 0});
+      EXPECT_EQ(default_thread_config().threads, 8);
+      EXPECT_EQ(default_thread_config().min_active_to_parallelize, 0);
+      EXPECT_TRUE(default_thread_config().fuse_rounds);
+    }
+    EXPECT_EQ(default_thread_config().threads, 4);
+    EXPECT_EQ(default_thread_config().min_active_to_parallelize, 16);
+    EXPECT_FALSE(default_thread_config().fuse_rounds);
+  }
+  EXPECT_EQ(default_thread_config().threads, base.threads);
+  EXPECT_EQ(default_thread_config().min_active_to_parallelize,
+            base.min_active_to_parallelize);
+  EXPECT_EQ(default_thread_config().fuse_rounds, base.fuse_rounds);
+}
+
+// Every node is initially active; the listed nodes throw on their first
+// turn. Serial execution hits the lowest-id thrower first, so the
+// parallel engine's earliest-error rethrow must surface the same one.
+class ThrowAt : public NodeProgram {
+ public:
+  explicit ThrowAt(std::vector<NodeId> throwers)
+      : throwers_(std::move(throwers)) {}
+  std::vector<NodeId> initial_nodes(const planar::EmbeddedGraph& g) override {
+    std::vector<NodeId> all;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) all.push_back(v);
+    return all;
+  }
+  void round(NodeId v, InboxView, Ctx&) override {
+    for (const NodeId t : throwers_) {
+      if (v == t) throw std::runtime_error("node " + std::to_string(v));
+    }
+  }
+
+ private:
+  std::vector<NodeId> throwers_;
+};
+
+TEST(ParallelNetwork, RethrowsTheEarliestErrorInSerialOrder) {
+  const GeneratedGraph gg = planar::grid(5, 5);
+  const auto error_of = [&](int threads) {
+    congest::Network net(gg.graph);
+    net.set_threads(threads);
+    net.set_min_active_to_parallelize(0);
+    // Throwers land in different shards; node 7 precedes node 19 in
+    // serial turn order, so "node 7" must win for every k.
+    ThrowAt prog({19, 7});
+    try {
+      net.run(prog, 8);
+    } catch (const std::runtime_error& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  const std::string serial = error_of(1);
+  ASSERT_EQ(serial, "node 7");
+  for (const int threads : {2, 4, 8}) {
+    EXPECT_EQ(error_of(threads), serial) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelNetwork, ArenaReuseAcrossRunsLeaksNoState) {
+  // The same Network object rerun several times (arenas, inbox slabs and
+  // activation scratch are all reused) must reproduce its first run
+  // bit-for-bit, including after an aborted run left arenas mid-flight.
+  const GeneratedGraph gg = planar::path(6);
+  congest::Network net(gg.graph);
+  net.set_threads(8);
+  net.set_min_active_to_parallelize(0);
+  const auto run_once = [&] {
+    Ping prog(4);
+    TraceRecorder rec;
+    testing::ScopedTraceCapture cap(rec);
+    const int rounds = net.run(prog, 32);
+    return std::make_pair(rounds, rec.events());
+  };
+  const auto first = run_once();
+  ASSERT_FALSE(first.second.empty());
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto again = run_once();
+    EXPECT_EQ(again.first, first.first) << "rep " << rep;
+    EXPECT_EQ(testing::first_divergence(again.second, first.second), -1)
+        << "rep " << rep << "\n"
+        << testing::diff_traces(again.second, first.second);
+  }
+  // Abort a run mid-flight, then confirm the next clean run still matches.
+  {
+    ThrowAt bomb({3});
+    EXPECT_THROW(net.run(bomb, 8), std::runtime_error);
+  }
+  const auto after_abort = run_once();
+  EXPECT_EQ(after_abort.first, first.first);
+  EXPECT_EQ(testing::first_divergence(after_abort.second, first.second), -1)
+      << testing::diff_traces(after_abort.second, first.second);
+}
+
+}  // namespace
+}  // namespace plansep::congest
