@@ -1,10 +1,14 @@
 #!/usr/bin/env python3
 """Perf-regression gate over bench JSON rows.
 
-Compares the `parallel_engine` rows of a fresh `bench_dfs_rounds --json=...`
-run against the committed baseline (bench/baselines/dfs_rounds.bench.json)
-and fails when any matched row's wall clock regressed by more than the
-tolerance (default 20%).
+Compares rows of a chosen kind (--kind, default `parallel_engine`) from a
+fresh bench run against the committed baseline and fails when any matched
+row's gated fields (--fields, default the parallel-engine wall clocks)
+regressed by more than the tolerance (default 20%). E.g. the serving tier
+gates `bench_loadgen` rows with:
+
+  bench_gate.py --kind loadgen --fields wall_ms,p99_ms \
+      --current loadgen.bench.json --baseline bench/baselines/loadgen.bench.json
 
 Matching and noise policy:
   * Rows are keyed on (kind, workload, family, n, threads, par_threshold,
@@ -33,11 +37,11 @@ import sys
 
 KEY_FIELDS = ("kind", "workload", "family", "n", "threads", "par_threshold",
               "host_cores")
-# Wall-clock fields gated per row, with the headline one first.
+# Default wall-clock fields gated per row, with the headline one first.
 WALL_FIELDS = ("wall_ms_parallel", "wall_ms_serial")
 
 
-def load_rows(path):
+def load_rows(path, kind):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -48,7 +52,7 @@ def load_rows(path):
     if not isinstance(rows, list):
         print(f"bench-gate: {path} has no rows[]", file=sys.stderr)
         sys.exit(2)
-    return [r for r in rows if r.get("kind") == "parallel_engine"]
+    return [r for r in rows if r.get("kind") == kind]
 
 
 def row_key(row):
@@ -70,16 +74,22 @@ def main():
     ap.add_argument("--min-ms", type=float, default=5.0,
                     help="ignore rows whose baseline wall clock is below "
                          "this (noise floor, default 5 ms)")
+    ap.add_argument("--kind", default="parallel_engine",
+                    help="row kind to gate (default parallel_engine)")
+    ap.add_argument("--fields", default=",".join(WALL_FIELDS),
+                    help="comma-separated wall-clock fields to gate per row "
+                         f"(default {','.join(WALL_FIELDS)})")
     args = ap.parse_args()
+    fields = tuple(f for f in args.fields.split(",") if f)
 
-    current = {row_key(r): r for r in load_rows(args.current)}
-    baseline = {row_key(r): r for r in load_rows(args.baseline)}
+    current = {row_key(r): r for r in load_rows(args.current, args.kind)}
+    baseline = {row_key(r): r for r in load_rows(args.baseline, args.kind)}
     if not current:
-        print("bench-gate: no parallel_engine rows in current run",
+        print(f"bench-gate: no {args.kind} rows in current run",
               file=sys.stderr)
         return 1
     if not baseline:
-        print("bench-gate: baseline has no parallel_engine rows",
+        print(f"bench-gate: baseline has no {args.kind} rows",
               file=sys.stderr)
         return 1
 
@@ -101,7 +111,7 @@ def main():
                 continue  # other runner shape's rows — not ours to check
             failures.append(f"missing sweep point: {fmt_key(key)}")
             continue
-        for field in WALL_FIELDS:
+        for field in fields:
             b, c = base.get(field), cur.get(field)
             if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
                 continue

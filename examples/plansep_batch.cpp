@@ -20,7 +20,10 @@
 // corpus/<family>/<fingerprint>.psg. --metrics-out writes the obs
 // registry snapshot (serve/* counters included) as JSON.
 //
-// Exit status: 0 all jobs ok, 1 some job failed, 2 usage/setup error.
+// Exit status: 0 all jobs ok; 1 some job errored or failed verification;
+// 2 usage/setup error; 3 every failure was a missed deadline (the batch
+// computed correctly but blew its time budget — schedulers treat this as
+// "retry with a bigger budget", not as a correctness failure).
 
 #include <cstdio>
 #include <cstdlib>
@@ -138,5 +141,12 @@ int main(int argc, char** argv) {
                rep.jobs, rep.ok, rep.check_failed, rep.deadline_missed,
                rep.errors, rep.cache.hits, rep.cache.disk_hits,
                rep.cache.misses, rep.cache.evictions);
-  return rep.ok == rep.jobs ? 0 : 1;
+  if (rep.deadline_missed > 0) {
+    std::fprintf(stderr, "[batch] %lld of %lld jobs missed their deadline\n",
+                 rep.deadline_missed, rep.jobs);
+  }
+  if (rep.ok == rep.jobs) return 0;
+  // Deadline-only failure is its own exit code: the work that finished is
+  // correct, the batch just ran out of budget.
+  return rep.errors == 0 && rep.check_failed == 0 ? 3 : 1;
 }

@@ -1,0 +1,132 @@
+// plansepd — the long-lived serving daemon over a UNIX stream socket.
+//
+//   plansepd --socket=PATH [--workers=K] [--queue=N] [--quota=N]
+//            [--cache-bytes=N] [--cache-shards=N] [--cache-dir=DIR]
+//            [--corpus=DIR] [--metrics-out=FILE] [--trace-out=FILE]
+//            [--dump-every-ms=N] [--chaos-seed=S] [--chaos-crash=P]
+//
+// Clients speak the length-prefixed frame protocol of daemon/protocol.hpp
+// (docs/SERVING.md): submissions carry one plansep_batch job line each,
+// responses stream back in per-client admission order, and admission is
+// bounded — a full queue or an exhausted per-client quota produces an
+// immediate typed reject, never silent queueing. Jobs execute through the
+// sharded in-memory result cache in front of the optional --cache-dir
+// disk tier, so a restarted daemon serves warm from disk.
+//
+// --chaos-crash enables the deterministic chaos harness: a seeded coin
+// re-runs jobs as if a worker had crashed mid-job; delivered payloads are
+// unaffected (the soak test's oracle).
+//
+// The daemon runs until a client sends kDrain or it receives
+// SIGINT/SIGTERM; both paths finish every admitted job, write the
+// --metrics-out / --trace-out dumps, and exit 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "daemon/server.hpp"
+
+namespace {
+
+plansep::daemon::Server* g_server = nullptr;
+
+void on_signal(int) {
+  // Async-signal-safe: just flip the flag wait() polls.
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+bool flag_value(const std::string& arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: plansepd --socket=PATH [--workers=K] [--queue=N] [--quota=N] "
+      "[--cache-bytes=N] [--cache-shards=N] [--cache-dir=DIR] "
+      "[--corpus=DIR] [--metrics-out=FILE] [--trace-out=FILE] "
+      "[--dump-every-ms=N] [--chaos-seed=S] [--chaos-crash=P]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace plansep;
+
+  daemon::ServerOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (flag_value(arg, "socket", &v)) {
+      opts.socket_path = v;
+    } else if (flag_value(arg, "workers", &v)) {
+      opts.dispatcher.workers = std::atoi(v.c_str());
+    } else if (flag_value(arg, "queue", &v)) {
+      opts.dispatcher.max_queue =
+          static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (flag_value(arg, "quota", &v)) {
+      opts.dispatcher.per_client_quota = std::atoll(v.c_str());
+    } else if (flag_value(arg, "cache-bytes", &v)) {
+      opts.cache_bytes =
+          static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (flag_value(arg, "cache-shards", &v)) {
+      opts.cache_shards = std::atoi(v.c_str());
+    } else if (flag_value(arg, "cache-dir", &v)) {
+      opts.cache_disk_dir = v;
+    } else if (flag_value(arg, "corpus", &v)) {
+      opts.dispatcher.batch.corpus_dir = v;
+    } else if (flag_value(arg, "metrics-out", &v)) {
+      opts.metrics_out = v;
+    } else if (flag_value(arg, "trace-out", &v)) {
+      opts.trace_out = v;
+    } else if (flag_value(arg, "dump-every-ms", &v)) {
+      opts.dump_every_ms = std::atoll(v.c_str());
+    } else if (flag_value(arg, "chaos-seed", &v)) {
+      opts.dispatcher.chaos_seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag_value(arg, "chaos-crash", &v)) {
+      opts.dispatcher.chaos_crash_prob = std::strtod(v.c_str(), nullptr);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return usage();
+    }
+  }
+  if (opts.socket_path.empty()) return usage();
+
+  daemon::Server server(opts);
+  g_server = &server;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "plansepd: %s\n", e.what());
+    return 2;
+  }
+  std::fprintf(stderr, "[plansepd] listening on %s (workers=%d queue=%zu)\n",
+               opts.socket_path.c_str(), server.dispatcher().options().workers,
+               server.dispatcher().options().max_queue);
+  std::fflush(stderr);
+
+  server.wait();  // until kDrain or a signal
+
+  const daemon::DaemonMetrics& m = server.metrics();
+  std::fprintf(stderr,
+               "[plansepd] done: submitted=%lld admitted=%lld completed=%lld "
+               "rejected(backpressure=%lld quota=%lld draining=%lld) "
+               "orphaned=%lld\n",
+               m.counter("daemon/submitted"), m.counter("daemon/admitted"),
+               m.counter("daemon/completed"),
+               m.counter("daemon/rejected_backpressure"),
+               m.counter("daemon/rejected_quota"),
+               m.counter("daemon/rejected_draining"),
+               m.counter("daemon/orphaned_responses"));
+  g_server = nullptr;
+  return 0;
+}

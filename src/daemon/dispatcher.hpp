@@ -1,0 +1,172 @@
+#pragma once
+
+/// \file
+/// The daemon's admission-controlled job dispatcher: bounded two-priority
+/// queue, per-client quotas, worker pool, chaos retries, graceful drain.
+
+// The dispatcher sits between protocol sessions and serve::run_single_job.
+//
+// Admission is synchronous and bounded: submit() either admits the job
+// (assigning the client's next delivery sequence number under the lock,
+// so per-client response order is fixed at admission) or reports exactly
+// why not — the queue is full (backpressure), the client's outstanding
+// quota is exhausted, or the daemon is draining. Rejections are decided
+// immediately on the session thread; nothing about a rejected job ever
+// reaches a worker.
+//
+// Two priority classes share one capacity bound: high-priority jobs
+// dequeue before every queued normal job, but admission treats the
+// classes identically, so priority affects latency, never admission.
+//
+// Execution mirrors run_batch's parallel section (batch.hpp): the
+// constructor detaches the process-global metrics registry, trace sink
+// and fault injector for the dispatcher's lifetime and forces the CONGEST
+// round engine serial; jobs whose spec enables fault injection take an
+// exclusive lock (their injector hook is process-global) while fault-free
+// jobs share it. Optional chaos testing re-runs a job when a seeded coin
+// (a pure function of chaos_seed, job id and attempt index) fires,
+// discarding the crashed attempt's result — the delivered payload is
+// always the final attempt's, hence byte-identical to a chaos-free run.
+//
+// pause()/resume() freeze dequeueing (admission keeps running). This is
+// the deterministic backpressure probe: pause an idle dispatcher, submit
+// capacity + k jobs, and exactly k rejections come back, independent of
+// worker speed. drain() stops admissions, resumes dequeueing, and blocks
+// until every admitted job has been delivered.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+#include <condition_variable>
+
+#include "congest/network.hpp"
+#include "daemon/metrics.hpp"
+#include "daemon/protocol.hpp"
+#include "serve/batch.hpp"
+
+namespace plansep::daemon {
+
+/// Why (or that) an admission attempt succeeded.
+enum class Admission {
+  kAdmitted,       ///< queued; the completion callback will fire once
+  kQueueFull,      ///< backpressure: the bounded queue is at capacity
+  kQuotaExceeded,  ///< the client's outstanding-job quota is exhausted
+  kDraining,       ///< the dispatcher no longer admits jobs
+};
+
+/// Dispatcher configuration.
+struct DispatcherOptions {
+  int workers = 2;                ///< worker threads (clamped to >= 1)
+  std::size_t max_queue = 64;     ///< queued-job bound across both classes
+  long long per_client_quota = 16;  ///< max outstanding jobs per client
+  serve::BatchOptions batch;      ///< execution options (corpus dir, retry)
+  std::uint64_t chaos_seed = 0;   ///< seed of the chaos coin
+  double chaos_crash_prob = 0.0;  ///< per-attempt crash probability (0 = off)
+  int chaos_max_attempts = 3;     ///< attempt bound; the last never crashes
+};
+
+/// One admitted unit of work.
+struct Submission {
+  std::uint64_t client = 0;  ///< session identity (quota + delivery order)
+  std::uint64_t id = 0;      ///< client-chosen correlation id
+  Priority priority = Priority::kNormal;  ///< scheduling class
+  serve::JobSpec spec;       ///< the job
+};
+
+/// Delivered to the completion callback, exactly once per admitted job.
+struct JobDone {
+  std::uint64_t client = 0;      ///< submitting session
+  std::uint64_t id = 0;          ///< the submission's correlation id
+  std::uint64_t client_seq = 0;  ///< admission order within the client
+  serve::JobResult result;       ///< the job's outcome row
+};
+
+/// Admission-controlled worker pool over serve::run_single_job.
+class Dispatcher {
+ public:
+  /// Completion callback type. Invoked on a worker thread, before the
+  /// job's quota slot is released — when drain() returns, every callback
+  /// has returned too.
+  using CompletionFn = std::function<void(const JobDone&)>;
+
+  /// Starts the worker pool and detaches the process-global observability
+  /// hooks (restored by the destructor).
+  Dispatcher(DispatcherOptions opts, serve::ArtifactCache& cache,
+             DaemonMetrics& metrics);
+  /// Drains (if not already) and joins the workers.
+  ~Dispatcher();
+  Dispatcher(const Dispatcher&) = delete;             ///< non-copyable
+  Dispatcher& operator=(const Dispatcher&) = delete;  ///< non-copyable
+
+  /// Admits the submission or reports why not. On kAdmitted, `done` fires
+  /// exactly once, on a worker thread; on any rejection it never fires.
+  Admission submit(Submission s, CompletionFn done);
+
+  /// Freezes dequeueing; admission keeps running (see the file comment).
+  void pause();
+  /// Thaws dequeueing.
+  void resume();
+  /// Stops admissions, resumes dequeueing, and blocks until every
+  /// admitted job has been executed and its callback delivered.
+  void drain();
+  /// Blocks until the queue is empty and no job is running, without
+  /// stopping admissions.
+  void wait_idle();
+
+  /// Currently queued jobs (both classes).
+  std::size_t queue_depth() const;
+  /// The client's outstanding (admitted, not yet delivered) jobs.
+  long long outstanding(std::uint64_t client) const;
+  /// True once drain() was entered.
+  bool draining() const;
+  /// The configured options.
+  const DispatcherOptions& options() const { return opts_; }
+
+ private:
+  struct Item {
+    Submission sub;
+    CompletionFn done;
+    std::uint64_t client_seq = 0;
+  };
+
+  void worker_loop();
+  void execute(Item item);
+  bool chaos_fires(std::uint64_t id, int attempt) const;
+
+  DispatcherOptions opts_;
+  serve::ArtifactCache& cache_;
+  DaemonMetrics& metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: work available / stop
+  std::condition_variable idle_cv_;   // drain/wait_idle: queue empty + idle
+  std::deque<Item> high_;
+  std::deque<Item> normal_;
+  std::unordered_map<std::uint64_t, long long> outstanding_;
+  std::unordered_map<std::uint64_t, std::uint64_t> next_seq_;
+  bool paused_ = false;
+  bool draining_ = false;
+  bool stopping_ = false;
+  int running_ = 0;
+
+  // Fault-injected jobs install a process-global injector: they hold this
+  // exclusively, fault-free jobs share it.
+  std::shared_mutex fault_mu_;
+
+  // Process-global hooks detached for the dispatcher's lifetime, and the
+  // serial round-engine config (batch.hpp's caller obligations).
+  obs::MetricsRegistry* saved_registry_ = nullptr;
+  congest::TraceSink* saved_sink_ = nullptr;
+  congest::FaultInjector* saved_injector_ = nullptr;
+  std::optional<congest::ScopedThreadConfig> serial_rounds_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace plansep::daemon

@@ -1,0 +1,109 @@
+#include "daemon/protocol.hpp"
+
+#include "io/binary.hpp"
+
+namespace plansep::daemon {
+
+const char* status_code_name(StatusCode c) {
+  switch (c) {
+    case StatusCode::kMalformedFrame:
+      return "malformed_frame";
+    case StatusCode::kBadJobSpec:
+      return "bad_job_spec";
+    case StatusCode::kQueueFull:
+      return "queue_full";
+    case StatusCode::kQuotaExceeded:
+      return "quota_exceeded";
+    case StatusCode::kDraining:
+      return "draining";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_submit(const SubmitPayload& p) {
+  io::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(p.priority));
+  w.str(p.spec_line);
+  return w.take();
+}
+
+SubmitPayload decode_submit(const std::vector<std::uint8_t>& bytes) {
+  io::ByteReader r(bytes);
+  SubmitPayload p;
+  const std::uint8_t pr = r.u8();
+  if (pr > static_cast<std::uint8_t>(Priority::kHigh)) {
+    throw io::FormatError("submit payload: unknown priority " +
+                          std::to_string(pr));
+  }
+  p.priority = static_cast<Priority>(pr);
+  p.spec_line = r.str();
+  r.expect_exhausted("submit payload");
+  return p;
+}
+
+std::vector<std::uint8_t> encode_response(const ResponsePayload& p) {
+  io::ByteWriter w;
+  w.str(p.status);
+  w.i32(p.attempts);
+  w.str(p.row);
+  return w.take();
+}
+
+ResponsePayload decode_response(const std::vector<std::uint8_t>& bytes) {
+  io::ByteReader r(bytes);
+  ResponsePayload p;
+  p.status = r.str();
+  p.attempts = r.i32();
+  p.row = r.str();
+  r.expect_exhausted("response payload");
+  return p;
+}
+
+std::vector<std::uint8_t> encode_status(const StatusPayload& p) {
+  io::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(p.code));
+  w.str(p.detail);
+  return w.take();
+}
+
+StatusPayload decode_status(const std::vector<std::uint8_t>& bytes) {
+  io::ByteReader r(bytes);
+  StatusPayload p;
+  const std::uint8_t code = r.u8();
+  if (code < static_cast<std::uint8_t>(StatusCode::kMalformedFrame) ||
+      code > static_cast<std::uint8_t>(StatusCode::kInternal)) {
+    throw io::FormatError("status payload: unknown code " +
+                          std::to_string(code));
+  }
+  p.code = static_cast<StatusCode>(code);
+  p.detail = r.str();
+  r.expect_exhausted("status payload");
+  return p;
+}
+
+std::vector<std::uint8_t> encode_text(const TextPayload& p) {
+  io::ByteWriter w;
+  w.str(p.text);
+  return w.take();
+}
+
+TextPayload decode_text(const std::vector<std::uint8_t>& bytes) {
+  io::ByteReader r(bytes);
+  TextPayload p;
+  p.text = r.str();
+  r.expect_exhausted("text payload");
+  return p;
+}
+
+std::vector<std::uint8_t> make_frame(FrameType type, std::uint64_t id,
+                                     std::vector<std::uint8_t> payload) {
+  io::Frame f;
+  f.type = static_cast<std::uint8_t>(type);
+  f.id = id;
+  f.payload = std::move(payload);
+  return io::encode_frame(f);
+}
+
+}  // namespace plansep::daemon

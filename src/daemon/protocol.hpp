@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file
+/// The plansepd wire protocol: frame types, reject/error codes, and the
+/// typed payload codecs riding io::Frame (semantics in docs/SERVING.md).
+
+// The plansepd wire protocol, one layer above io/frame.hpp.
+//
+// Every exchange is a stream of io::Frame values over a local stream
+// socket. The client correlates by frame id: a submit's eventual
+// kResponse / kReject / kError echoes the submit's id, and control
+// frames (kPing, kPause, ...) are acknowledged with the same id. Frame
+// types and payload layouts:
+//
+//   kSubmit       SubmitPayload      one job submission
+//   kResponse     ResponsePayload    the job's batch row, admission order
+//   kReject       StatusPayload      admission refused (code says why)
+//   kError        StatusPayload      malformed frame / bad job spec / ...
+//   kPing         (empty)            liveness probe
+//   kPong         (empty)            ack for kPing, kPause, kResume
+//   kMetricsQuery (empty)            request a metrics snapshot
+//   kMetricsReply TextPayload        obs registry snapshot as JSON
+//   kPause        (empty)            freeze dispatch (admission keeps
+//                                    running — the deterministic way to
+//                                    probe backpressure; see SERVING.md)
+//   kResume       (empty)            thaw dispatch
+//   kDrain        (empty)            stop admitting, finish the queue
+//   kDrained      TextPayload        drain complete; summary JSON
+//
+// Payload codecs reuse io::ByteWriter/ByteReader, so malformed payloads
+// surface as io::FormatError with an offset, exactly like artifact
+// sections. Responses to one client always arrive in that client's
+// admission order; rejects and errors are immediate.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/frame.hpp"
+
+namespace plansep::daemon {
+
+/// Frame type values of the serving protocol (the io::Frame type byte).
+enum class FrameType : std::uint8_t {
+  kSubmit = 1,        ///< client → daemon: SubmitPayload
+  kResponse = 2,      ///< daemon → client: ResponsePayload
+  kReject = 3,        ///< daemon → client: StatusPayload (admission refused)
+  kError = 4,         ///< daemon → client: StatusPayload (protocol error)
+  kPing = 5,          ///< client → daemon: liveness probe
+  kPong = 6,          ///< daemon → client: ack (kPing, kPause, kResume)
+  kMetricsQuery = 7,  ///< client → daemon: request metrics snapshot
+  kMetricsReply = 8,  ///< daemon → client: TextPayload (metrics JSON)
+  kPause = 9,         ///< client → daemon: freeze dispatch
+  kResume = 10,       ///< client → daemon: thaw dispatch
+  kDrain = 11,        ///< client → daemon: graceful drain
+  kDrained = 12,      ///< daemon → client: TextPayload (drain summary JSON)
+};
+
+/// Reject/error codes carried by StatusPayload.
+enum class StatusCode : std::uint8_t {
+  kMalformedFrame = 1,  ///< undecodable frame or payload
+  kBadJobSpec = 2,      ///< submit payload parsed, job line did not
+  kQueueFull = 3,       ///< admission queue at capacity (backpressure)
+  kQuotaExceeded = 4,   ///< client's outstanding-job quota exhausted
+  kDraining = 5,        ///< daemon is draining; no new admissions
+  kInternal = 6,        ///< unexpected server-side failure
+};
+
+/// Stable name of a status code ("queue_full", ...), for logs and tests.
+const char* status_code_name(StatusCode c);
+
+/// Priority classes of a submission. High-priority jobs dequeue before
+/// every queued normal job; admission (queue bound, quota) is identical.
+enum class Priority : std::uint8_t {
+  kNormal = 0,  ///< default class
+  kHigh = 1,    ///< dequeues first
+};
+
+/// kSubmit payload: a priority class plus one job-file line (the exact
+/// `--key=value` grammar of serve::parse_job_line — one parser for batch
+/// files and the wire).
+struct SubmitPayload {
+  Priority priority = Priority::kNormal;  ///< scheduling class
+  std::string spec_line;                  ///< job-file line to parse
+};
+
+/// kResponse payload: the job's outcome row, exactly as run_batch would
+/// have emitted it (byte-identical across runs and thread counts).
+struct ResponsePayload {
+  std::string status;  ///< "ok" / "check_failed" / "deadline" / "error"
+  std::int32_t attempts = 1;  ///< job attempts (> 1 under faults/chaos)
+  std::string row;     ///< the JSON row (no trailing newline)
+};
+
+/// kReject / kError payload: a typed code plus a human diagnosis.
+struct StatusPayload {
+  StatusCode code = StatusCode::kInternal;  ///< what went wrong
+  std::string detail;                       ///< diagnosis for humans
+};
+
+/// kMetricsReply / kDrained payload: one JSON document.
+struct TextPayload {
+  std::string text;  ///< the document
+};
+
+std::vector<std::uint8_t> encode_submit(const SubmitPayload& p);  ///< kSubmit codec
+/// Decodes a kSubmit payload; throws io::FormatError on malformed bytes
+/// or an unknown priority value.
+SubmitPayload decode_submit(const std::vector<std::uint8_t>& bytes);
+
+std::vector<std::uint8_t> encode_response(const ResponsePayload& p);  ///< kResponse codec
+/// Decodes a kResponse payload.
+ResponsePayload decode_response(const std::vector<std::uint8_t>& bytes);
+
+std::vector<std::uint8_t> encode_status(const StatusPayload& p);  ///< kReject/kError codec
+/// Decodes a kReject/kError payload; throws on an unknown code value.
+StatusPayload decode_status(const std::vector<std::uint8_t>& bytes);
+
+std::vector<std::uint8_t> encode_text(const TextPayload& p);  ///< kMetricsReply/kDrained codec
+/// Decodes a kMetricsReply/kDrained payload.
+TextPayload decode_text(const std::vector<std::uint8_t>& bytes);
+
+/// Convenience: a fully-encoded frame of the given type/id/payload.
+std::vector<std::uint8_t> make_frame(FrameType type, std::uint64_t id,
+                                     std::vector<std::uint8_t> payload = {});
+
+}  // namespace plansep::daemon

@@ -1,0 +1,392 @@
+#include "daemon/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/trace_export.hpp"
+
+namespace plansep::daemon {
+
+namespace {
+
+// Writes all of buf to fd, MSG_NOSIGNAL so a dead peer surfaces as EPIPE
+// instead of killing the process. Returns false on any write failure.
+bool send_all(int fd, const std::vector<std::uint8_t>& buf) {
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n =
+        ::send(fd, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+// One connected client. The write mutex guards the fd's write side, the
+// closed flag and the reorder buffer; the session thread owns the read
+// side exclusively.
+struct Server::Session {
+  std::uint64_t client = 0;  ///< dispatcher client identity
+  int fd = -1;
+
+  std::mutex write_mu;
+  bool closed = false;  // write side gone (disconnect or server stop)
+  std::map<std::uint64_t, std::vector<std::uint8_t>> pending;  // seq → frame
+  std::uint64_t next_seq = 0;  // next admission sequence to flush
+
+  std::thread thread;
+
+  /// Immediate write (rejects, errors, pongs, ...). False if closed/broken.
+  bool send_now(const std::vector<std::uint8_t>& frame) {
+    std::lock_guard<std::mutex> lk(write_mu);
+    if (closed) return false;
+    if (!send_all(fd, frame)) {
+      closed = true;
+      return false;
+    }
+    return true;
+  }
+
+  /// Reorder-buffered response delivery: stash at seq, flush the ready
+  /// prefix. Returns false when the client is gone (response orphaned).
+  bool deliver(std::uint64_t seq, std::vector<std::uint8_t> frame) {
+    std::lock_guard<std::mutex> lk(write_mu);
+    if (closed) return false;
+    pending.emplace(seq, std::move(frame));
+    while (true) {
+      const auto it = pending.find(next_seq);
+      if (it == pending.end()) break;
+      if (!send_all(fd, it->second)) {
+        closed = true;
+        return false;
+      }
+      pending.erase(it);
+      ++next_seq;
+    }
+    return true;
+  }
+
+  /// Severs the connection (both directions); the session thread's recv
+  /// unblocks with EOF.
+  void sever() {
+    std::lock_guard<std::mutex> lk(write_mu);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    closed = true;
+  }
+};
+
+Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
+  cache_ = std::make_unique<serve::ShardedResultCache>(
+      serve::ShardedResultCache::Options{opts_.cache_bytes, opts_.cache_shards,
+                                         opts_.cache_disk_dir});
+  dispatcher_ =
+      std::make_unique<Dispatcher>(opts_.dispatcher, *cache_, metrics_);
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts_.socket_path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("socket path too long: " + opts_.socket_path);
+  }
+  std::strncpy(addr.sun_path, opts_.socket_path.c_str(),
+               sizeof addr.sun_path - 1);
+  ::unlink(opts_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    throw std::runtime_error("bind " + opts_.socket_path + ": " +
+                             std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    throw std::runtime_error(std::string("listen: ") + std::strerror(errno));
+  }
+  accepting_.store(true);
+  listener_ = std::thread([this] { listener_loop(); });
+  if (opts_.dump_every_ms > 0 &&
+      (!opts_.metrics_out.empty() || !opts_.trace_out.empty())) {
+    dumper_ = std::thread([this] { dump_loop(); });
+  }
+}
+
+void Server::listener_loop() {
+  while (accepting_.load()) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&p, 1, 100);
+    if (r <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto s = std::make_shared<Session>();
+    s->fd = fd;
+    {
+      std::lock_guard<std::mutex> lk(sessions_mu_);
+      if (!accepting_.load()) {
+        ::close(fd);
+        break;
+      }
+      s->client = next_client_++;
+      sessions_.push_back(s);
+    }
+    metrics_.add("daemon/connections");
+    s->thread = std::thread([this, s] { session_loop(s); });
+  }
+}
+
+void Server::dump_loop() {
+  std::unique_lock<std::mutex> lk(state_mu_);
+  while (!stop_requested_ && !stopped_) {
+    state_cv_.wait_for(lk, std::chrono::milliseconds(opts_.dump_every_ms));
+    if (stop_requested_ || stopped_) break;
+    lk.unlock();
+    write_dumps();
+    lk.lock();
+  }
+}
+
+void Server::write_dumps() {
+  const obs::MetricsRegistry snap = metrics_.snapshot();
+  if (!opts_.metrics_out.empty()) {
+    std::ofstream out(opts_.metrics_out);
+    out << metrics_.snapshot_json(*cache_) << '\n';
+  }
+  if (!opts_.trace_out.empty()) {
+    obs::write_chrome_trace(snap, opts_.trace_out, /*announce=*/false);
+  }
+}
+
+std::string Server::drain_summary_json() const {
+  const serve::CacheCounters c = cache_->counters();
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("submitted").value(metrics_.counter("daemon/submitted"));
+  w.key("admitted").value(metrics_.counter("daemon/admitted"));
+  w.key("completed").value(metrics_.counter("daemon/completed"));
+  w.key("rejected_backpressure")
+      .value(metrics_.counter("daemon/rejected_backpressure"));
+  w.key("rejected_quota").value(metrics_.counter("daemon/rejected_quota"));
+  w.key("rejected_draining")
+      .value(metrics_.counter("daemon/rejected_draining"));
+  w.key("orphaned_responses")
+      .value(metrics_.counter("daemon/orphaned_responses"));
+  w.key("cache_served_warm").value(c.served_without_compute());
+  w.key("inflight_flights").value(static_cast<long long>(
+      cache_->inflight_flights()));
+  w.end_object();
+  return w.str();
+}
+
+void Server::session_loop(const std::shared_ptr<Session>& s) {
+  io::FrameDecoder decoder;
+  std::uint8_t buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(s->fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // disconnect (or sever() during stop)
+    try {
+      decoder.feed(buf, static_cast<std::size_t>(n));
+      while (auto f = decoder.next()) handle_frame(s, *f);
+    } catch (const io::FormatError& e) {
+      // The byte stream lost sync; one typed error, then the connection
+      // dies (the decoder is poisoned — nothing after it can be trusted).
+      metrics_.add("daemon/malformed_frames");
+      s->send_now(make_frame(
+          FrameType::kError, 0,
+          encode_status({StatusCode::kMalformedFrame, e.what()})));
+      break;
+    }
+  }
+  if (decoder.partial_bytes() > 0 && !decoder.poisoned()) {
+    metrics_.add("daemon/partial_disconnects");
+  }
+  s->sever();
+}
+
+void Server::handle_frame(const std::shared_ptr<Session>& s,
+                          const io::Frame& f) {
+  switch (static_cast<FrameType>(f.type)) {
+    case FrameType::kSubmit:
+      handle_submit(s, f);
+      return;
+    case FrameType::kPing:
+      s->send_now(make_frame(FrameType::kPong, f.id));
+      return;
+    case FrameType::kPause:
+      dispatcher_->pause();
+      s->send_now(make_frame(FrameType::kPong, f.id));
+      return;
+    case FrameType::kResume:
+      dispatcher_->resume();
+      s->send_now(make_frame(FrameType::kPong, f.id));
+      return;
+    case FrameType::kMetricsQuery:
+      s->send_now(make_frame(FrameType::kMetricsReply, f.id,
+                             encode_text({metrics_.snapshot_json(*cache_)})));
+      return;
+    case FrameType::kDrain:
+      handle_drain(s, f.id);
+      return;
+    default:
+      metrics_.add("daemon/malformed_frames");
+      s->send_now(make_frame(
+          FrameType::kError, f.id,
+          encode_status({StatusCode::kMalformedFrame,
+                         "unexpected frame type " +
+                             std::to_string(static_cast<int>(f.type))})));
+      return;
+  }
+}
+
+void Server::handle_submit(const std::shared_ptr<Session>& s,
+                           const io::Frame& f) {
+  SubmitPayload sub;
+  try {
+    sub = decode_submit(f.payload);
+  } catch (const io::FormatError& e) {
+    // The frame itself was sound (CRC passed), so the stream is still in
+    // sync — reject the submission, keep the session.
+    metrics_.add("daemon/malformed_frames");
+    s->send_now(
+        make_frame(FrameType::kError, f.id,
+                   encode_status({StatusCode::kMalformedFrame, e.what()})));
+    return;
+  }
+
+  serve::JobSpec spec;
+  try {
+    auto parsed = serve::parse_job_line(sub.spec_line, 0);
+    if (!parsed) throw std::runtime_error("empty job spec");
+    spec = std::move(*parsed);
+  } catch (const std::exception& e) {
+    s->send_now(make_frame(
+        FrameType::kError, f.id,
+        encode_status({StatusCode::kBadJobSpec, e.what()})));
+    return;
+  }
+
+  const std::uint64_t id = f.id;
+  std::weak_ptr<Session> weak = s;
+  const Admission adm = dispatcher_->submit(
+      Submission{s->client, id, sub.priority, std::move(spec)},
+      [this, weak](const JobDone& done) {
+        auto frame = make_frame(
+            FrameType::kResponse, done.id,
+            encode_response({done.result.status, done.result.attempts,
+                             done.result.row}));
+        const auto session = weak.lock();
+        if (session == nullptr || !session->deliver(done.client_seq,
+                                                    std::move(frame))) {
+          metrics_.add("daemon/orphaned_responses");
+        }
+      });
+
+  switch (adm) {
+    case Admission::kAdmitted:
+      return;  // the response arrives through the reorder buffer
+    case Admission::kQueueFull:
+      s->send_now(make_frame(
+          FrameType::kReject, id,
+          encode_status({StatusCode::kQueueFull, "admission queue full"})));
+      return;
+    case Admission::kQuotaExceeded:
+      s->send_now(make_frame(
+          FrameType::kReject, id,
+          encode_status(
+              {StatusCode::kQuotaExceeded, "per-client quota exhausted"})));
+      return;
+    case Admission::kDraining:
+      s->send_now(make_frame(
+          FrameType::kReject, id,
+          encode_status({StatusCode::kDraining, "daemon is draining"})));
+      return;
+  }
+}
+
+void Server::handle_drain(const std::shared_ptr<Session>& s,
+                          std::uint64_t id) {
+  metrics_.add("daemon/drains");
+  dispatcher_->drain();  // admissions now reject kDraining; queue flushes
+  write_dumps();
+  s->send_now(make_frame(FrameType::kDrained, id,
+                         encode_text({drain_summary_json()})));
+  request_stop();
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lk(state_mu_);
+  state_cv_.wait_for(lk, std::chrono::milliseconds(200),
+                     [&] { return stop_requested_ || stopped_; });
+  while (!stop_requested_ && !stopped_) {
+    state_cv_.wait_for(lk, std::chrono::milliseconds(200));
+  }
+  lk.unlock();
+  stop();
+}
+
+void Server::request_stop() {
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    stop_requested_ = true;
+  }
+  state_cv_.notify_all();
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    stop_requested_ = true;
+  }
+  state_cv_.notify_all();
+
+  // Stop accepting, finish every admitted job (deliveries included — the
+  // dispatcher's completion callbacks run before drain() returns), then
+  // sever and join the sessions.
+  accepting_.store(false);
+  if (listener_.joinable()) listener_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (dispatcher_ != nullptr) dispatcher_->drain();
+  write_dumps();
+
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    sessions.swap(sessions_);
+  }
+  for (const auto& s : sessions) s->sever();
+  for (const auto& s : sessions) {
+    if (s->thread.joinable()) s->thread.join();
+    if (s->fd >= 0) {
+      ::close(s->fd);
+      s->fd = -1;
+    }
+  }
+  if (dumper_.joinable()) dumper_.join();
+  if (!opts_.socket_path.empty()) ::unlink(opts_.socket_path.c_str());
+}
+
+}  // namespace plansep::daemon

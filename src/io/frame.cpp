@@ -1,0 +1,81 @@
+#include "io/frame.hpp"
+
+#include <cstring>
+#include <string>
+
+namespace plansep::io {
+
+std::vector<std::uint8_t> encode_frame(const Frame& f) {
+  if (f.payload.size() > kMaxFramePayload) {
+    throw FormatError("frame payload exceeds kMaxFramePayload (" +
+                      std::to_string(f.payload.size()) + " bytes)");
+  }
+  ByteWriter w;
+  w.u32(kFrameMagic);
+  w.u8(f.type);
+  w.u64(f.id);
+  w.u32(static_cast<std::uint32_t>(f.payload.size()));
+  w.bytes(f.payload.data(), f.payload.size());
+  w.u32(crc32(f.payload.data(), f.payload.size()));
+  return w.take();
+}
+
+void FrameDecoder::check_header() {
+  // Validate the parts of the header that can be wrong before the whole
+  // frame arrived, so a bad magic or hostile length is rejected at the
+  // earliest byte rather than after buffering a "payload".
+  if (buf_.size() - pos_ < kFrameHeaderBytes) return;
+  ByteReader r(buf_.data() + pos_, kFrameHeaderBytes);
+  const std::uint32_t magic = r.u32();
+  if (magic != kFrameMagic) {
+    poisoned_ = true;
+    throw FormatError("bad frame magic (stream out of sync)");
+  }
+  r.u8();   // type — opaque here
+  r.u64();  // id
+  const std::uint32_t len = r.u32();
+  if (len > kMaxFramePayload) {
+    poisoned_ = true;
+    throw FormatError("oversized frame payload (" + std::to_string(len) +
+                      " > " + std::to_string(kMaxFramePayload) + " bytes)");
+  }
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  if (poisoned_) throw FormatError("frame stream already poisoned");
+  // Drop the consumed prefix before growing; keeps the buffer at one
+  // frame's order of magnitude regardless of stream length.
+  if (pos_ > 0) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + size);
+  check_header();
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (poisoned_) throw FormatError("frame stream already poisoned");
+  if (buf_.size() - pos_ < kFrameHeaderBytes) return std::nullopt;
+  check_header();  // throws on bad magic / oversized length
+  ByteReader header(buf_.data() + pos_, kFrameHeaderBytes);
+  header.u32();  // magic, validated
+  Frame f;
+  f.type = header.u8();
+  f.id = header.u64();
+  const std::uint32_t len = header.u32();
+  const std::size_t total = kFrameHeaderBytes + len + 4;
+  if (buf_.size() - pos_ < total) return std::nullopt;
+  const std::uint8_t* payload = buf_.data() + pos_ + kFrameHeaderBytes;
+  ByteReader tail(payload + len, 4);
+  const std::uint32_t want = tail.u32();
+  const std::uint32_t got = crc32(payload, len);
+  if (want != got) {
+    poisoned_ = true;
+    throw FormatError("frame payload CRC mismatch");
+  }
+  f.payload.assign(payload, payload + len);
+  pos_ += total;
+  return f;
+}
+
+}  // namespace plansep::io

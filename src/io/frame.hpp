@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file
+/// Length-prefixed, CRC-guarded wire frames: the streaming cousin of the
+/// .psg container, shared by the serving daemon and its clients.
+
+// Wire frames for streaming peers (daemon/ and its clients).
+//
+// A frame is the socket-stream unit of the serving protocol, built from
+// the same primitives as the .psg container (io/binary.hpp: little-endian
+// integers, CRC32 of the payload) so the repo keeps exactly one binary
+// idiom. Layout, all integers little-endian:
+//
+//   u32 magic        = kFrameMagic ("PSFR" as bytes)
+//   u8  type         (opaque here; daemon/protocol.hpp assigns meaning)
+//   u64 id           (correlation id, echoed by responses)
+//   u32 payload_len  (<= kMaxFramePayload)
+//   u8  payload[payload_len]
+//   u32 crc32        (of the payload bytes)
+//
+// FrameDecoder consumes an arbitrary chunking of the byte stream (feed()
+// accepts whatever read() returned) and yields complete frames; any
+// malformation — wrong magic, oversized length, CRC mismatch — throws
+// io::FormatError naming the check, after which the decoder is poisoned
+// (a byte stream that lost sync cannot be trusted again; peers close the
+// connection). Truncation is not an error at this layer: a partial frame
+// simply never completes, and partial_bytes() lets the session layer
+// diagnose a mid-frame disconnect.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "io/binary.hpp"
+
+namespace plansep::io {
+
+/// Frame magic, "PSFR" in file order when written little-endian.
+inline constexpr std::uint32_t kFrameMagic = 0x52465350u;
+
+/// Hard upper bound on a frame payload. A length field above this is
+/// rejected before any allocation, so a corrupted or hostile length
+/// prefix cannot balloon memory.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+
+/// Bytes of the fixed frame header (magic + type + id + payload_len).
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 1 + 8 + 4;
+
+/// One decoded (or to-be-encoded) frame.
+struct Frame {
+  std::uint8_t type = 0;              ///< opaque frame type
+  std::uint64_t id = 0;               ///< correlation id
+  std::vector<std::uint8_t> payload;  ///< CRC-verified payload bytes
+};
+
+/// Serializes a frame (header, payload, payload CRC). Deterministic.
+/// Throws FormatError if the payload exceeds kMaxFramePayload.
+std::vector<std::uint8_t> encode_frame(const Frame& f);
+
+/// Incremental frame parser over an arbitrarily-chunked byte stream.
+class FrameDecoder {
+ public:
+  /// Appends `size` raw stream bytes at `data` to the internal buffer.
+  /// Throws FormatError as soon as a malformation is detectable (bad
+  /// magic, oversized length, CRC mismatch); the decoder is poisoned
+  /// afterwards and every later call throws too.
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  /// The next complete frame, or nullopt when more bytes are needed.
+  /// Throws FormatError under the same conditions as feed().
+  std::optional<Frame> next();
+
+  /// Bytes of an incomplete frame still buffered — nonzero after a peer
+  /// disconnected mid-frame.
+  std::size_t partial_bytes() const { return buf_.size() - pos_; }
+
+  /// True once a malformation was detected; the stream is unusable.
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  void check_header();  // validates magic/length once a header is buffered
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  bool poisoned_ = false;
+};
+
+}  // namespace plansep::io

@@ -59,7 +59,7 @@ struct DfsRow {
 // Everything a job accumulates before its row is rendered.
 struct JobRun {
   const JobSpec* spec = nullptr;
-  std::size_t index = 0;
+  std::uint64_t index = 0;
   std::string status = "ok";
   std::string error;
   int attempts = 1;
@@ -159,8 +159,8 @@ DfsRow dfs_row_from_bytes(const planar::EmbeddedGraph& g,
   return row;
 }
 
-JobRun execute_job(const JobSpec& spec, std::size_t index,
-                   const BatchOptions& opts, ResultCache& cache) {
+JobRun execute_job(const JobSpec& spec, std::uint64_t index,
+                   const BatchOptions& opts, ArtifactCache& cache) {
   JobRun run;
   run.spec = &spec;
   run.index = index;
@@ -284,7 +284,21 @@ JobRun execute_job(const JobSpec& spec, std::size_t index,
   return run;
 }
 
+JobResult result_of(JobRun run) {
+  JobResult res;
+  res.status = run.status;
+  res.error = run.error;
+  res.attempts = run.attempts;
+  res.row = render_row(run);
+  return res;
+}
+
 }  // namespace
+
+JobResult run_single_job(const JobSpec& spec, std::uint64_t index,
+                         const BatchOptions& opts, ArtifactCache& cache) {
+  return result_of(execute_job(spec, index, opts, cache));
+}
 
 // ---------------------------------------------------------------- names --
 
@@ -436,11 +450,7 @@ BatchReport run_batch(const std::vector<JobSpec>& jobs,
   std::mutex emit_mu;
   std::size_t next_emit = 0;
   const auto complete = [&](std::size_t i, JobRun run, long long ms) {
-    JobResult res;
-    res.status = run.status;
-    res.error = run.error;
-    res.attempts = run.attempts;
-    res.row = render_row(run);
+    JobResult res = result_of(std::move(run));
     std::lock_guard<std::mutex> lk(emit_mu);
     rep.results[i] = std::move(res);
     latency_ms[i] = ms;

@@ -121,4 +121,20 @@ BatchReport run_batch(const std::vector<JobSpec>& jobs,
                       const BatchOptions& opts, ResultCache& cache,
                       std::ostream* rows_out = nullptr);
 
+/// Executes one job outside the batch scheduler — the daemon's execution
+/// path. Same bytes→row contract as run_batch (the row is a pure function
+/// of the job spec, `index`, and the canonical artifact bytes; no
+/// wall-clock fields), so a daemon response is byte-identical to the
+/// batch row for the same spec and index. `index` lands in the row's
+/// "job" field — daemon sessions pass the client's request id.
+///
+/// Caller obligations mirror run_batch's parallel section: the CONGEST
+/// round engine must be configured serial (ScopedThreadConfig), the
+/// process-global metrics registry / trace sink / fault injector must be
+/// detached, and jobs whose spec enables faults must not run concurrently
+/// with any other job (their fault injector hook is process-global). The
+/// daemon dispatcher enforces all three.
+JobResult run_single_job(const JobSpec& spec, std::uint64_t index,
+                         const BatchOptions& opts, ArtifactCache& cache);
+
 }  // namespace plansep::serve

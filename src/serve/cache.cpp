@@ -1,5 +1,6 @@
 #include "serve/cache.hpp"
 
+#include <algorithm>
 #include <filesystem>
 
 #include "core/fingerprint.hpp"
@@ -191,6 +192,80 @@ std::size_t ResultCache::entries() const {
 CacheCounters ResultCache::counters() const {
   std::lock_guard<std::mutex> lk(mu_);
   return counters_;
+}
+
+std::size_t ResultCache::inflight_flights() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return flights_.size();
+}
+
+// -------------------------------------------------------- sharded tier --
+
+ShardedResultCache::ShardedResultCache(Options opts) : opts_(std::move(opts)) {
+  const int n = std::max(1, opts_.shards);
+  opts_.shards = n;
+  const std::size_t slice =
+      std::max<std::size_t>(1, opts_.capacity_bytes / static_cast<std::size_t>(n));
+  shards_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<ResultCache>(
+        ResultCache::Options{slice, opts_.disk_dir}));
+  }
+}
+
+int ShardedResultCache::shard_of(const CacheKey& key) const {
+  // The address is avalanche-mixed, so any bit slice selects uniformly;
+  // the high bits keep shard choice independent of the low bits each
+  // shard's unordered_map buckets on.
+  return static_cast<int>((cache_address(key) >> 48) %
+                          static_cast<std::uint64_t>(shards_.size()));
+}
+
+ShardedResultCache::Value ShardedResultCache::get_or_compute(
+    const CacheKey& key, const Compute& compute) {
+  return shards_[static_cast<std::size_t>(shard_of(key))]->get_or_compute(
+      key, compute);
+}
+
+ShardedResultCache::Value ShardedResultCache::peek(const CacheKey& key) const {
+  return shards_[static_cast<std::size_t>(shard_of(key))]->peek(key);
+}
+
+void ShardedResultCache::clear_memory() {
+  for (auto& s : shards_) s->clear_memory();
+}
+
+std::size_t ShardedResultCache::size_bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) total += s->size_bytes();
+  return total;
+}
+
+std::size_t ShardedResultCache::entries() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) total += s->entries();
+  return total;
+}
+
+CacheCounters ShardedResultCache::counters() const {
+  CacheCounters sum;
+  for (const auto& s : shards_) {
+    const CacheCounters c = s->counters();
+    sum.hits += c.hits;
+    sum.disk_hits += c.disk_hits;
+    sum.misses += c.misses;
+    sum.evictions += c.evictions;
+    sum.inserted_bytes += c.inserted_bytes;
+    sum.disk_corrupt += c.disk_corrupt;
+    sum.disk_write_failed += c.disk_write_failed;
+  }
+  return sum;
+}
+
+std::size_t ShardedResultCache::inflight_flights() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) total += s->inflight_flights();
+  return total;
 }
 
 }  // namespace plansep::serve

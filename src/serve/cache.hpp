@@ -77,8 +77,35 @@ struct CacheCounters {
   CacheCounters operator-(const CacheCounters& o) const;
 };
 
+/// Interface shared by the flat and sharded caches: everything a job
+/// executor needs (lookup-or-compute plus counters). serve::run_batch and
+/// the daemon dispatcher are written against this, so either tier plugs
+/// in.
+class ArtifactCache {
+ public:
+  /// The value type: immutable shared artifact bytes.
+  using Value = std::shared_ptr<const std::vector<std::uint8_t>>;
+  /// A compute callback producing the value for a key on miss.
+  using Compute = std::function<std::vector<std::uint8_t>()>;
+
+  virtual ~ArtifactCache() = default;
+
+  /// Returns the cached value for key, computing (or disk-loading) it at
+  /// most once across all concurrent callers (single-flight). Exceptions
+  /// from compute propagate to every caller of that flight; nothing is
+  /// cached then.
+  virtual Value get_or_compute(const CacheKey& key,
+                               const Compute& compute) = 0;
+  /// Counter snapshot (aggregated over shards for the sharded tier).
+  virtual CacheCounters counters() const = 0;
+  /// Single-flight entries currently in progress. Zero whenever no
+  /// get_or_compute call is executing — a nonzero value at quiescence is
+  /// a leaked flight (the drain/soak tests assert this).
+  virtual std::size_t inflight_flights() const = 0;
+};
+
 /// Byte-bounded LRU + single-flight cache over serialized artifacts.
-class ResultCache {
+class ResultCache : public ArtifactCache {
  public:
   /// Construction knobs.
   struct Options {
@@ -92,15 +119,10 @@ class ResultCache {
   /// An empty cache with the given options.
   explicit ResultCache(Options opts);
 
-  /// The value type: immutable shared artifact bytes.
-  using Value = std::shared_ptr<const std::vector<std::uint8_t>>;
-  /// A compute callback producing the value for a key on miss.
-  using Compute = std::function<std::vector<std::uint8_t>()>;
-
   /// Returns the cached value for key, computing (or disk-loading) it at
   /// most once across all concurrent callers. Exceptions from compute
   /// propagate to every caller of that flight; nothing is cached then.
-  Value get_or_compute(const CacheKey& key, const Compute& compute);
+  Value get_or_compute(const CacheKey& key, const Compute& compute) override;
 
   /// Memory-only peek (counts neither hit nor miss); null when absent.
   Value peek(const CacheKey& key) const;
@@ -113,7 +135,9 @@ class ResultCache {
   /// Current in-memory entry count.
   std::size_t entries() const;
   /// Counter snapshot.
-  CacheCounters counters() const;
+  CacheCounters counters() const override;
+  /// In-progress single-flight entries (see ArtifactCache).
+  std::size_t inflight_flights() const override;
   /// The configured options.
   const Options& options() const { return opts_; }
 
@@ -143,6 +167,62 @@ class ResultCache {
   std::unordered_map<std::uint64_t, std::shared_ptr<Flight>> flights_;
   std::size_t bytes_ = 0;
   CacheCounters counters_;
+};
+
+/// Sharded in-memory tier over N independent ResultCache shards, in front
+/// of one shared disk tier. Keys map to shards by their content address
+/// (shard_of), so two lookups of one key always meet in the same shard —
+/// single-flight dedup keeps working — while lookups of distinct keys
+/// mostly take distinct shard locks. A disk-tier hit is loaded by the
+/// owning shard and therefore repopulates exactly that shard's memory.
+/// The memory budget is split evenly; a value larger than one shard's
+/// slice is served but not retained, like the flat cache's oversize rule.
+class ShardedResultCache : public ArtifactCache {
+ public:
+  /// Construction knobs.
+  struct Options {
+    /// Total in-memory payload budget, split evenly across shards.
+    std::size_t capacity_bytes = 64u << 20;
+    /// Shard count (clamped to >= 1). Keep it a small power of two.
+    int shards = 8;
+    /// On-disk store directory shared by every shard; "" disables the
+    /// disk tier. File names are content addresses, so shards never
+    /// collide on disk.
+    std::string disk_dir;
+  };
+
+  /// An empty sharded cache with the given options.
+  explicit ShardedResultCache(Options opts);
+
+  /// Delegates to the owning shard's get_or_compute.
+  Value get_or_compute(const CacheKey& key, const Compute& compute) override;
+  /// Memory-only peek into the owning shard.
+  Value peek(const CacheKey& key) const;
+  /// Drops every shard's in-memory entries (disk tier untouched).
+  void clear_memory();
+
+  /// The shard index key maps to: a stable function of cache_address(key)
+  /// and the shard count only.
+  int shard_of(const CacheKey& key) const;
+  /// Number of shards.
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  /// Direct shard access (tests assert per-shard placement).
+  ResultCache& shard(int i) { return *shards_[static_cast<std::size_t>(i)]; }
+
+  /// Sum of every shard's in-memory payload bytes.
+  std::size_t size_bytes() const;
+  /// Sum of every shard's in-memory entry count.
+  std::size_t entries() const;
+  /// Component-wise sum of every shard's counters.
+  CacheCounters counters() const override;
+  /// Sum of every shard's in-progress flights (see ArtifactCache).
+  std::size_t inflight_flights() const override;
+  /// The configured options.
+  const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+  std::vector<std::unique_ptr<ResultCache>> shards_;
 };
 
 }  // namespace plansep::serve

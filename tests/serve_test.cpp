@@ -328,6 +328,138 @@ TEST(ServeBatch, UnknownFamilyYieldsErrorRowNotCrash) {
   EXPECT_EQ(rep.ok, rep.jobs - 1);
 }
 
+// --------------------------------------------------------- sharded tier --
+
+TEST(ShardedCache, KeysAlwaysMeetInTheirOwningShard) {
+  serve::ShardedResultCache cache({1 << 20, 8, ""});
+  ASSERT_EQ(cache.shard_count(), 8);
+  bool spread = false;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const auto key = key_of(i);
+    const int s = cache.shard_of(key);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, cache.shard_count());
+    EXPECT_EQ(s, cache.shard_of(key)) << "shard_of must be stable";
+    if (s != cache.shard_of(key_of(0))) spread = true;
+    cache.get_or_compute(key, [&] { return tiny_artifact(0, 32); });
+    // The value lands in exactly the owning shard's memory.
+    EXPECT_NE(cache.shard(s).peek(key), nullptr);
+    for (int t = 0; t < cache.shard_count(); ++t) {
+      if (t != s) {
+        EXPECT_EQ(cache.shard(t).peek(key), nullptr);
+      }
+    }
+  }
+  EXPECT_TRUE(spread) << "64 keys all hashed to one shard";
+}
+
+TEST(ShardedCache, SingleFlightStillDedupsAcrossThreads) {
+  serve::ShardedResultCache cache({1 << 20, 4, ""});
+  std::atomic<int> computes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      cache.get_or_compute(key_of(3), [&] {
+        ++computes;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        return tiny_artifact(1, 64);
+      });
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(cache.inflight_flights(), 0u);
+}
+
+// Concurrent get/put/evict sweep under byte pressure, at 2, 4 and 8
+// threads: the shard budget is tight enough that insertions continuously
+// evict while other threads hit, miss and disk-load the same key range.
+// The invariants: counters stay consistent (every lookup is a hit, a disk
+// hit, or a miss), the byte budget holds, and no flight leaks.
+TEST(ShardedCache, ConcurrentGetPutEvictUnderBytePressure) {
+  const std::size_t value_size = tiny_artifact(0, 64).size();
+  for (const int threads : {2, 4, 8}) {
+    ScratchDir dir("shardrace");
+    // ~3 resident values per shard; 24 distinct keys force evictions.
+    serve::ShardedResultCache cache({value_size * 3 * 4, 4, dir.path()});
+    constexpr int kKeys = 24;
+    constexpr int kOpsPerThread = 400;
+    std::atomic<long long> lookups{0};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          const std::uint64_t k =
+              static_cast<std::uint64_t>((i * 7 + t * 13) % kKeys);
+          const auto v = cache.get_or_compute(key_of(k), [&] {
+            return tiny_artifact(static_cast<std::uint8_t>(k), 64);
+          });
+          ASSERT_NE(v, nullptr);
+          ++lookups;
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+
+    const auto c = cache.counters();
+    EXPECT_EQ(c.hits + c.disk_hits + c.misses, lookups.load())
+        << "threads=" << threads;
+    EXPECT_LE(cache.size_bytes(), value_size * 3 * 4) << "threads=" << threads;
+    EXPECT_GT(c.evictions, 0) << "threads=" << threads;
+    EXPECT_EQ(cache.inflight_flights(), 0u) << "threads=" << threads;
+    // Each distinct key computes at most once thanks to the disk tier:
+    // an evicted entry reloads from disk, never recomputes.
+    EXPECT_EQ(c.misses, kKeys) << "threads=" << threads;
+  }
+}
+
+// Regression: a disk-tier hit must repopulate the shard the key maps to,
+// not shard 0 or whichever shard happens to be hot.
+TEST(ShardedCache, DiskHitRepopulatesTheOwningShard) {
+  ScratchDir dir("sharddisk");
+  {
+    serve::ShardedResultCache warm({1 << 20, 4, dir.path()});
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      warm.get_or_compute(key_of(i), [&] { return tiny_artifact(2, 64); });
+    }
+  }
+  serve::ShardedResultCache fresh({1 << 20, 4, dir.path()});
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const auto key = key_of(i);
+    const int owner = fresh.shard_of(key);
+    const long long before = fresh.shard(owner).counters().disk_hits;
+    ASSERT_NE(fresh.get_or_compute(key, [&] { return tiny_artifact(9, 64); }),
+              nullptr);
+    // Served from disk (not recomputed: payload still the warm one), and
+    // resident exactly in the owning shard.
+    EXPECT_EQ(fresh.shard(owner).counters().disk_hits, before + 1)
+        << "key " << i;
+    EXPECT_NE(fresh.shard(owner).peek(key), nullptr);
+    for (int t = 0; t < fresh.shard_count(); ++t) {
+      if (t != owner) {
+        EXPECT_EQ(fresh.shard(t).peek(key), nullptr);
+      }
+    }
+  }
+  EXPECT_EQ(fresh.counters().disk_hits, 8);
+  EXPECT_EQ(fresh.counters().misses, 0);
+}
+
+TEST(ShardedCache, ThrowingComputeLeaksNoFlightsAndCachesNothing) {
+  serve::ShardedResultCache cache({1 << 20, 4, ""});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(cache.get_or_compute(key_of(11), []() -> std::vector<std::uint8_t> {
+      throw std::runtime_error("compute exploded");
+    }), std::runtime_error);
+  }
+  EXPECT_EQ(cache.inflight_flights(), 0u);
+  EXPECT_EQ(cache.peek(key_of(11)), nullptr);
+  // The key still works once the compute succeeds.
+  EXPECT_NE(cache.get_or_compute(key_of(11),
+                                 [] { return tiny_artifact(5, 64); }),
+            nullptr);
+}
+
 TEST(ServeBatch, FaultyJobRecoversAndStaysDeterministic) {
   const auto parse = [] {
     std::istringstream file(
