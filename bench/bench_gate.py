@@ -39,6 +39,12 @@ KEY_FIELDS = ("kind", "workload", "family", "n", "threads", "par_threshold",
               "host_cores")
 # Default wall-clock fields gated per row, with the headline one first.
 WALL_FIELDS = ("wall_ms_parallel", "wall_ms_serial")
+# Per-kind field defaults, so the common gates need no --fields flag.
+KIND_FIELDS = {
+    "parallel_engine": WALL_FIELDS,
+    "loadgen": ("wall_ms",),
+    "query": ("warm_wall_ms", "cold_job_ms"),
+}
 
 
 def load_rows(path, kind):
@@ -76,11 +82,15 @@ def main():
                          "this (noise floor, default 5 ms)")
     ap.add_argument("--kind", default="parallel_engine",
                     help="row kind to gate (default parallel_engine)")
-    ap.add_argument("--fields", default=",".join(WALL_FIELDS),
+    ap.add_argument("--fields", default=None,
                     help="comma-separated wall-clock fields to gate per row "
-                         f"(default {','.join(WALL_FIELDS)})")
+                         "(default: the kind's entry in KIND_FIELDS, else "
+                         f"{','.join(WALL_FIELDS)})")
     args = ap.parse_args()
-    fields = tuple(f for f in args.fields.split(",") if f)
+    if args.fields is None:
+        fields = KIND_FIELDS.get(args.kind, WALL_FIELDS)
+    else:
+        fields = tuple(f for f in args.fields.split(",") if f)
 
     current = {row_key(r): r for r in load_rows(args.current, args.kind)}
     baseline = {row_key(r): r for r in load_rows(args.baseline, args.kind)}

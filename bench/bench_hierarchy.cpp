@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "query/index.hpp"
 #include "separator/hierarchy.hpp"
 
 int main(int argc, char** argv) {
@@ -16,7 +17,7 @@ int main(int argc, char** argv) {
 
   std::printf("E11: separator hierarchy vs leaf size (n=%d)\n\n", n);
   Table table({"family", "leaf", "levels", "lg(n/leaf)", "pieces", "sep%",
-               "charged"});
+               "charged", "index ms", "index MB"});
   for (planar::Family f :
        {planar::Family::kGrid, planar::Family::kTriangulation,
         planar::Family::kRandomPlanar}) {
@@ -26,11 +27,17 @@ int main(int argc, char** argv) {
       const auto h = separator::build_hierarchy(gg.graph, engine, leaf);
       int leaves = 0;
       for (const auto& piece : h.pieces) leaves += piece.is_leaf();
+      // The query tier's index build rides the same decomposition; its
+      // cost and footprint belong in the leaf-size tradeoff picture.
+      bench::WallTimer index_timer;
+      const auto qi = query::build_query_index(gg.graph, h, leaf);
+      const double index_ms = index_timer.ms();
       table.add(planar::family_name(f), leaf, h.levels,
                 std::log2(static_cast<double>(gg.graph.num_nodes()) / leaf),
                 leaves,
                 100.0 * h.separator_nodes / gg.graph.num_nodes(),
-                h.cost.charged);
+                h.cost.charged, index_ms,
+                static_cast<double>(qi.byte_size()) / (1 << 20));
       json.row()
           .set("kind", "hierarchy")
           .set("family", planar::family_name(f))
@@ -38,9 +45,12 @@ int main(int argc, char** argv) {
           .set("leaf_size", leaf)
           .set("levels", h.levels)
           .set("pieces", leaves)
+          .set("pieces_total", static_cast<long long>(h.pieces.size()))
           .set("separator_pct",
                100.0 * h.separator_nodes / gg.graph.num_nodes())
-          .set("rounds_charged", h.cost.charged);
+          .set("rounds_charged", h.cost.charged)
+          .set("index_build_ms", index_ms)
+          .set("index_bytes", static_cast<long long>(qi.byte_size()));
     }
   }
   table.print();

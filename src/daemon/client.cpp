@@ -81,6 +81,45 @@ void Client::submit(std::uint64_t id, Priority priority,
              encode_submit({priority, spec_line}));
 }
 
+void Client::submit_query(std::uint64_t id, const QueryRequestPayload& req) {
+  send_frame(FrameType::kQueryReq, id, encode_query_request(req));
+}
+
+std::optional<QueryResponsePayload> Client::query(
+    std::uint64_t id, const QueryRequestPayload& req, int timeout_ms) {
+  submit_query(id, req);
+  // The daemon answers a query with kQueryResp, or immediately with
+  // kReject/kError; match any of the three for this id, parking the rest.
+  const auto wanted = [id](const io::Frame& f) {
+    return f.id == id &&
+           (f.type == static_cast<std::uint8_t>(FrameType::kQueryResp) ||
+            f.type == static_cast<std::uint8_t>(FrameType::kReject) ||
+            f.type == static_cast<std::uint8_t>(FrameType::kError));
+  };
+  std::optional<io::Frame> hit;
+  for (auto it = stash_.begin(); it != stash_.end(); ++it) {
+    if (wanted(*it)) {
+      hit = std::move(*it);
+      stash_.erase(it);
+      break;
+    }
+  }
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (!hit) {
+    auto f = read_socket_frame(remaining_ms(deadline));
+    if (!f) return std::nullopt;
+    if (wanted(*f)) {
+      hit = std::move(*f);
+    } else {
+      stash_.push_back(std::move(*f));
+    }
+  }
+  if (hit->type != static_cast<std::uint8_t>(FrameType::kQueryResp)) {
+    return std::nullopt;
+  }
+  return decode_query_response(hit->payload);
+}
+
 std::optional<io::Frame> Client::read_socket_frame(int timeout_ms) {
   const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   for (;;) {

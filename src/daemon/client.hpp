@@ -70,6 +70,14 @@ class Client {
   void submit(std::uint64_t id, Priority priority,
               const std::string& spec_line);
 
+  /// Submits one batched distance-query job (kQueryReq).
+  void submit_query(std::uint64_t id, const QueryRequestPayload& req);
+  /// submit_query + blocking wait for its kQueryResp; nullopt on timeout,
+  /// a reject or an error frame for the id.
+  std::optional<QueryResponsePayload> query(std::uint64_t id,
+                                            const QueryRequestPayload& req,
+                                            int timeout_ms = 30000);
+
   /// Next frame (stash first, then the socket). nullopt on timeout or
   /// EOF; throws io::FormatError if the daemon's byte stream is
   /// malformed.

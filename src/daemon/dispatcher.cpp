@@ -10,7 +10,10 @@ namespace plansep::daemon {
 
 Dispatcher::Dispatcher(DispatcherOptions opts, serve::ArtifactCache& cache,
                        DaemonMetrics& metrics)
-    : opts_(std::move(opts)), cache_(cache), metrics_(metrics) {
+    : opts_(std::move(opts)),
+      cache_(cache),
+      metrics_(metrics),
+      engine_cache_(opts_.engine_capacity) {
   opts_.workers = std::max(1, opts_.workers);
   opts_.max_queue = std::max<std::size_t>(1, opts_.max_queue);
   opts_.chaos_max_attempts = std::max(1, opts_.chaos_max_attempts);
@@ -140,6 +143,41 @@ bool Dispatcher::chaos_fires(std::uint64_t id, int attempt) const {
 }
 
 void Dispatcher::execute(Item item) {
+  if (item.sub.query != nullptr) {
+    // Query jobs never install the process-global fault injector and are
+    // pure functions of (job, artifact bytes), so chaos re-runs would buy
+    // nothing: one shared-lock execution, one delivery.
+    query::QueryOutcome outcome;
+    {
+      std::shared_lock<std::shared_mutex> sh(fault_mu_);
+      outcome = query::run_query_job(*item.sub.query, opts_.batch, cache_,
+                                     &engine_cache_);
+    }
+    metrics_.add("daemon/completed");
+    metrics_.add("daemon/queries");
+    metrics_.add("daemon/query_answers",
+                 static_cast<long long>(outcome.distances.size()));
+    if (outcome.engine_cache_hit) metrics_.add("daemon/query_engine_hits");
+    if (outcome.status == "error") metrics_.add("daemon/errors");
+    metrics_.job_completed(item.sub.id, 1);
+    if (item.done) {
+      JobDone done;
+      done.client = item.sub.client;
+      done.id = item.sub.id;
+      done.client_seq = item.client_seq;
+      done.is_query = true;
+      done.query_outcome = std::move(outcome);
+      item.done(done);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --outstanding_[item.sub.client];
+      --running_;
+    }
+    idle_cv_.notify_all();
+    return;
+  }
+
   serve::JobResult result;
   const bool faulty = item.sub.spec.faults.enabled();
   for (int attempt = 0;; ++attempt) {
@@ -167,8 +205,12 @@ void Dispatcher::execute(Item item) {
   metrics_.job_completed(item.sub.id, result.attempts);
 
   if (item.done) {
-    item.done(JobDone{item.sub.client, item.sub.id, item.client_seq,
-                      std::move(result)});
+    JobDone done;
+    done.client = item.sub.client;
+    done.id = item.sub.id;
+    done.client_seq = item.client_seq;
+    done.result = std::move(result);
+    item.done(done);
   }
 
   {

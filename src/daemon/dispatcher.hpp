@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
@@ -48,6 +49,7 @@
 #include "congest/network.hpp"
 #include "daemon/metrics.hpp"
 #include "daemon/protocol.hpp"
+#include "query/service.hpp"
 #include "serve/batch.hpp"
 
 namespace plansep::daemon {
@@ -69,14 +71,20 @@ struct DispatcherOptions {
   std::uint64_t chaos_seed = 0;   ///< seed of the chaos coin
   double chaos_crash_prob = 0.0;  ///< per-attempt crash probability (0 = off)
   int chaos_max_attempts = 3;     ///< attempt bound; the last never crashes
+  std::size_t engine_capacity = 4;  ///< prepared query engines held (LRU)
 };
 
-/// One admitted unit of work.
+/// One admitted unit of work: a pipeline job (spec) or, when `query` is
+/// set, a batched distance-query job. Both classes share the queue, the
+/// quota and the backpressure bound — a query is admitted (or rejected)
+/// exactly like a submit.
 struct Submission {
   std::uint64_t client = 0;  ///< session identity (quota + delivery order)
   std::uint64_t id = 0;      ///< client-chosen correlation id
   Priority priority = Priority::kNormal;  ///< scheduling class
-  serve::JobSpec spec;       ///< the job
+  serve::JobSpec spec;       ///< the job (ignored when `query` is set)
+  /// Set for query jobs; shared so admitted items stay cheap to move.
+  std::shared_ptr<const query::QueryJob> query;
 };
 
 /// Delivered to the completion callback, exactly once per admitted job.
@@ -84,7 +92,9 @@ struct JobDone {
   std::uint64_t client = 0;      ///< submitting session
   std::uint64_t id = 0;          ///< the submission's correlation id
   std::uint64_t client_seq = 0;  ///< admission order within the client
-  serve::JobResult result;       ///< the job's outcome row
+  bool is_query = false;         ///< which result field is live
+  serve::JobResult result;       ///< the job's outcome row (pipeline jobs)
+  query::QueryOutcome query_outcome;  ///< the batch answers (query jobs)
 };
 
 /// Admission-controlled worker pool over serve::run_single_job.
@@ -127,6 +137,8 @@ class Dispatcher {
   bool draining() const;
   /// The configured options.
   const DispatcherOptions& options() const { return opts_; }
+  /// The prepared-engine cache (query jobs; counters for tests/metrics).
+  const query::EngineCache& engine_cache() const { return engine_cache_; }
 
  private:
   struct Item {
@@ -142,6 +154,7 @@ class Dispatcher {
   DispatcherOptions opts_;
   serve::ArtifactCache& cache_;
   DaemonMetrics& metrics_;
+  query::EngineCache engine_cache_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // workers: work available / stop

@@ -97,6 +97,100 @@ TextPayload decode_text(const std::vector<std::uint8_t>& bytes) {
   return p;
 }
 
+namespace {
+
+// Pair lists are u32-count-prefixed i32 pairs. The count bound keeps a
+// hostile prefix from forcing a giant allocation before the reader's
+// bounds checks would trip: 1 MiB of frame can hold at most
+// kMaxFramePayload / 8 pairs.
+constexpr std::uint32_t kMaxPairs = io::kMaxFramePayload / 8;
+
+void encode_pairs(
+    io::ByteWriter& w,
+    const std::vector<std::pair<std::int32_t, std::int32_t>>& pairs) {
+  w.u32(static_cast<std::uint32_t>(pairs.size()));
+  for (const auto& [a, b] : pairs) {
+    w.i32(a);
+    w.i32(b);
+  }
+}
+
+std::vector<std::pair<std::int32_t, std::int32_t>> decode_pairs(
+    io::ByteReader& r, const char* what) {
+  const std::uint32_t count = r.u32();
+  if (count > kMaxPairs) {
+    throw io::FormatError(std::string(what) + ": count " +
+                          std::to_string(count) + " exceeds frame bound");
+  }
+  std::vector<std::pair<std::int32_t, std::int32_t>> pairs;
+  pairs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::int32_t a = r.i32();
+    const std::int32_t b = r.i32();
+    pairs.emplace_back(a, b);
+  }
+  return pairs;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_query_request(const QueryRequestPayload& p) {
+  io::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(p.priority));
+  w.str(p.spec_line);
+  w.i32(p.leaf_size);
+  encode_pairs(w, p.pairs);
+  encode_pairs(w, p.dead_edges);
+  return w.take();
+}
+
+QueryRequestPayload decode_query_request(
+    const std::vector<std::uint8_t>& bytes) {
+  io::ByteReader r(bytes);
+  QueryRequestPayload p;
+  const std::uint8_t pr = r.u8();
+  if (pr > static_cast<std::uint8_t>(Priority::kHigh)) {
+    throw io::FormatError("query request payload: unknown priority " +
+                          std::to_string(pr));
+  }
+  p.priority = static_cast<Priority>(pr);
+  p.spec_line = r.str();
+  p.leaf_size = r.i32();
+  p.pairs = decode_pairs(r, "query request pairs");
+  p.dead_edges = decode_pairs(r, "query request dead edges");
+  r.expect_exhausted("query request payload");
+  return p;
+}
+
+std::vector<std::uint8_t> encode_query_response(
+    const QueryResponsePayload& p) {
+  io::ByteWriter w;
+  w.str(p.status);
+  w.str(p.error);
+  w.u32(static_cast<std::uint32_t>(p.distances.size()));
+  for (std::int64_t d : p.distances) w.i64(d);
+  w.u8(p.engine_cache_hit);
+  return w.take();
+}
+
+QueryResponsePayload decode_query_response(
+    const std::vector<std::uint8_t>& bytes) {
+  io::ByteReader r(bytes);
+  QueryResponsePayload p;
+  p.status = r.str();
+  p.error = r.str();
+  const std::uint32_t count = r.u32();
+  if (count > io::kMaxFramePayload / 8) {
+    throw io::FormatError("query response payload: count " +
+                          std::to_string(count) + " exceeds frame bound");
+  }
+  p.distances.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) p.distances.push_back(r.i64());
+  p.engine_cache_hit = r.u8();
+  r.expect_exhausted("query response payload");
+  return p;
+}
+
 std::vector<std::uint8_t> make_frame(FrameType type, std::uint64_t id,
                                      std::vector<std::uint8_t> payload) {
   io::Frame f;

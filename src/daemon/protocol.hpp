@@ -26,6 +26,8 @@
 //   kResume       (empty)            thaw dispatch
 //   kDrain        (empty)            stop admitting, finish the queue
 //   kDrained      TextPayload        drain complete; summary JSON
+//   kQueryReq     QueryRequestPayload  one batched distance-query job
+//   kQueryResp    QueryResponsePayload the batch's answers, admission order
 //
 // Payload codecs reuse io::ByteWriter/ByteReader, so malformed payloads
 // surface as io::FormatError with an offset, exactly like artifact
@@ -34,6 +36,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "io/frame.hpp"
@@ -54,6 +57,8 @@ enum class FrameType : std::uint8_t {
   kResume = 10,       ///< client → daemon: thaw dispatch
   kDrain = 11,        ///< client → daemon: graceful drain
   kDrained = 12,      ///< daemon → client: TextPayload (drain summary JSON)
+  kQueryReq = 13,     ///< client → daemon: QueryRequestPayload
+  kQueryResp = 14,    ///< daemon → client: QueryResponsePayload
 };
 
 /// Reject/error codes carried by StatusPayload.
@@ -103,6 +108,26 @@ struct TextPayload {
   std::string text;  ///< the document
 };
 
+/// kQueryReq payload: an instance spec (the same job-line grammar as
+/// kSubmit, algo ignored), a hierarchy leaf size, a batch of (u, v)
+/// query pairs, and an optional list of dead edges. Queries share
+/// kSubmit's admission (quota, backpressure, priority classes).
+struct QueryRequestPayload {
+  Priority priority = Priority::kNormal;  ///< scheduling class
+  std::string spec_line;                  ///< instance spec to parse
+  std::int32_t leaf_size = 128;           ///< hierarchy leaf bound
+  std::vector<std::pair<std::int32_t, std::int32_t>> pairs;  ///< queries
+  std::vector<std::pair<std::int32_t, std::int32_t>> dead_edges;  ///< kills
+};
+
+/// kQueryResp payload: the batch's answers, one per pair in order.
+struct QueryResponsePayload {
+  std::string status;  ///< "ok" / "error"
+  std::string error;   ///< diagnosis when status == "error"
+  std::vector<std::int64_t> distances;  ///< hop counts; -1 = unreachable
+  std::uint8_t engine_cache_hit = 0;    ///< served from a prepared engine
+};
+
 std::vector<std::uint8_t> encode_submit(const SubmitPayload& p);  ///< kSubmit codec
 /// Decodes a kSubmit payload; throws io::FormatError on malformed bytes
 /// or an unknown priority value.
@@ -119,6 +144,15 @@ StatusPayload decode_status(const std::vector<std::uint8_t>& bytes);
 std::vector<std::uint8_t> encode_text(const TextPayload& p);  ///< kMetricsReply/kDrained codec
 /// Decodes a kMetricsReply/kDrained payload.
 TextPayload decode_text(const std::vector<std::uint8_t>& bytes);
+
+std::vector<std::uint8_t> encode_query_request(const QueryRequestPayload& p);  ///< kQueryReq codec
+/// Decodes a kQueryReq payload; throws io::FormatError on malformed
+/// bytes, an unknown priority, or pair/edge counts too large for a frame.
+QueryRequestPayload decode_query_request(const std::vector<std::uint8_t>& bytes);
+
+std::vector<std::uint8_t> encode_query_response(const QueryResponsePayload& p);  ///< kQueryResp codec
+/// Decodes a kQueryResp payload.
+QueryResponsePayload decode_query_response(const std::vector<std::uint8_t>& bytes);
 
 /// Convenience: a fully-encoded frame of the given type/id/payload.
 std::vector<std::uint8_t> make_frame(FrameType type, std::uint64_t id,

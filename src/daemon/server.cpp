@@ -228,6 +228,9 @@ void Server::handle_frame(const std::shared_ptr<Session>& s,
     case FrameType::kSubmit:
       handle_submit(s, f);
       return;
+    case FrameType::kQueryReq:
+      handle_query(s, f);
+      return;
     case FrameType::kPing:
       s->send_now(make_frame(FrameType::kPong, f.id));
       return;
@@ -285,14 +288,92 @@ void Server::handle_submit(const std::shared_ptr<Session>& s,
   }
 
   const std::uint64_t id = f.id;
+  Submission submission;
+  submission.client = s->client;
+  submission.id = id;
+  submission.priority = sub.priority;
+  submission.spec = std::move(spec);
   std::weak_ptr<Session> weak = s;
   const Admission adm = dispatcher_->submit(
-      Submission{s->client, id, sub.priority, std::move(spec)},
-      [this, weak](const JobDone& done) {
+      std::move(submission), [this, weak](const JobDone& done) {
         auto frame = make_frame(
             FrameType::kResponse, done.id,
             encode_response({done.result.status, done.result.attempts,
                              done.result.row}));
+        const auto session = weak.lock();
+        if (session == nullptr || !session->deliver(done.client_seq,
+                                                    std::move(frame))) {
+          metrics_.add("daemon/orphaned_responses");
+        }
+      });
+
+  switch (adm) {
+    case Admission::kAdmitted:
+      return;  // the response arrives through the reorder buffer
+    case Admission::kQueueFull:
+      s->send_now(make_frame(
+          FrameType::kReject, id,
+          encode_status({StatusCode::kQueueFull, "admission queue full"})));
+      return;
+    case Admission::kQuotaExceeded:
+      s->send_now(make_frame(
+          FrameType::kReject, id,
+          encode_status(
+              {StatusCode::kQuotaExceeded, "per-client quota exhausted"})));
+      return;
+    case Admission::kDraining:
+      s->send_now(make_frame(
+          FrameType::kReject, id,
+          encode_status({StatusCode::kDraining, "daemon is draining"})));
+      return;
+  }
+}
+
+void Server::handle_query(const std::shared_ptr<Session>& s,
+                          const io::Frame& f) {
+  QueryRequestPayload req;
+  try {
+    req = decode_query_request(f.payload);
+  } catch (const io::FormatError& e) {
+    // Same contract as handle_submit: the frame's CRC passed, so the
+    // stream is in sync — reject the request, keep the session.
+    metrics_.add("daemon/malformed_frames");
+    s->send_now(
+        make_frame(FrameType::kError, f.id,
+                   encode_status({StatusCode::kMalformedFrame, e.what()})));
+    return;
+  }
+
+  auto job = std::make_shared<query::QueryJob>();
+  try {
+    auto parsed = serve::parse_job_line(req.spec_line, 0);
+    if (!parsed) throw std::runtime_error("empty job spec");
+    job->instance = std::move(*parsed);
+  } catch (const std::exception& e) {
+    s->send_now(make_frame(
+        FrameType::kError, f.id,
+        encode_status({StatusCode::kBadJobSpec, e.what()})));
+    return;
+  }
+  job->leaf_size = req.leaf_size;
+  job->pairs.assign(req.pairs.begin(), req.pairs.end());
+  job->dead_edges.assign(req.dead_edges.begin(), req.dead_edges.end());
+
+  const std::uint64_t id = f.id;
+  Submission sub;
+  sub.client = s->client;
+  sub.id = id;
+  sub.priority = req.priority;
+  sub.query = std::move(job);
+  std::weak_ptr<Session> weak = s;
+  const Admission adm = dispatcher_->submit(
+      std::move(sub), [this, weak](const JobDone& done) {
+        const query::QueryOutcome& out = done.query_outcome;
+        auto frame = make_frame(
+            FrameType::kQueryResp, done.id,
+            encode_query_response(
+                {out.status, out.error, out.distances,
+                 static_cast<std::uint8_t>(out.engine_cache_hit ? 1 : 0)}));
         const auto session = weak.lock();
         if (session == nullptr || !session->deliver(done.client_seq,
                                                     std::move(frame))) {

@@ -299,6 +299,178 @@ DfsArtifact decode_dfs(const std::vector<std::uint8_t>& bytes) {
   return d;
 }
 
+std::vector<std::uint8_t> encode_hierarchy(const HierarchyArtifact& h) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(h.num_nodes));
+  w.u32(static_cast<std::uint32_t>(h.hierarchy.pieces.size()));
+  for (const separator::HierarchyPiece& p : h.hierarchy.pieces) {
+    w.i32(p.level);
+    w.i32(p.parent);
+    w.u32(static_cast<std::uint32_t>(p.nodes.size()));
+    for (const planar::NodeId v : p.nodes) w.i32(v);
+    w.u32(static_cast<std::uint32_t>(p.separator.size()));
+    for (const planar::NodeId v : p.separator) w.i32(v);
+  }
+  encode_cost(w, h.hierarchy.cost);
+  return w.take();
+}
+
+HierarchyArtifact decode_hierarchy(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  HierarchyArtifact h;
+  const std::uint32_t n = r.u32();
+  if (n > (1u << 30)) malformed("implausible hierarchy node count");
+  h.num_nodes = static_cast<planar::NodeId>(n);
+  const std::uint32_t pieces = r.u32();
+  if (pieces > (1u << 28)) malformed("implausible hierarchy piece count");
+  h.hierarchy.pieces.resize(pieces);
+  for (std::uint32_t i = 0; i < pieces; ++i) {
+    separator::HierarchyPiece& p = h.hierarchy.pieces[i];
+    p.level = r.i32();
+    p.parent = r.i32();
+    if (p.level < 0) malformed("hierarchy piece with negative level");
+    if (p.parent < -1 || p.parent >= static_cast<std::int32_t>(i)) {
+      malformed("hierarchy piece " + std::to_string(i) +
+                " with parent " + std::to_string(p.parent) +
+                " (parents must precede children)");
+    }
+    const auto read_nodes = [&](std::vector<planar::NodeId>& out,
+                                const char* what) {
+      const std::uint32_t count = r.u32();
+      if (count > n) malformed(std::string("hierarchy ") + what + " too long");
+      out.resize(count);
+      for (std::uint32_t k = 0; k < count; ++k) {
+        const std::int32_t v = r.i32();
+        if (v < 0 || static_cast<std::uint32_t>(v) >= n) {
+          malformed(std::string("hierarchy ") + what + ": node " +
+                    std::to_string(v) + " out of range");
+        }
+        out[k] = v;
+      }
+    };
+    read_nodes(p.nodes, "piece nodes");
+    read_nodes(p.separator, "separator");
+  }
+  h.hierarchy.cost = decode_cost(r);
+  r.expect_exhausted("hierarchy section");
+  h.hierarchy.rebuild_derived(h.num_nodes);
+  return h;
+}
+
+namespace {
+
+void encode_i32_array(ByteWriter& w, const std::vector<std::int32_t>& a) {
+  w.u64(a.size());
+  for (const std::int32_t v : a) w.i32(v);
+}
+
+void encode_i64_array(ByteWriter& w, const std::vector<std::int64_t>& a) {
+  w.u64(a.size());
+  for (const std::int64_t v : a) w.i64(v);
+}
+
+std::vector<std::int32_t> decode_i32_array(ByteReader& r, const char* what) {
+  const std::uint64_t count = r.u64();
+  if (count > (1ull << 31)) {
+    malformed(std::string("implausible ") + what + " length");
+  }
+  std::vector<std::int32_t> a(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    a[static_cast<std::size_t>(i)] = r.i32();
+  }
+  return a;
+}
+
+std::vector<std::int64_t> decode_i64_array(ByteReader& r, const char* what) {
+  const std::uint64_t count = r.u64();
+  if (count > (1ull << 31)) {
+    malformed(std::string("implausible ") + what + " length");
+  }
+  std::vector<std::int64_t> a(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    a[static_cast<std::size_t>(i)] = r.i64();
+  }
+  return a;
+}
+
+// Offsets arrays must start at 0 and be non-decreasing, ending at the
+// length of the array they index.
+void check_offsets(const std::vector<std::int64_t>& off, std::size_t total,
+                   const char* what) {
+  if (off.empty() || off.front() != 0 ||
+      off.back() != static_cast<std::int64_t>(total)) {
+    malformed(std::string("query index: ") + what + " offsets corrupt");
+  }
+  for (std::size_t i = 1; i < off.size(); ++i) {
+    if (off[i] < off[i - 1]) {
+      malformed(std::string("query index: ") + what +
+                " offsets not monotone");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_query_index(const query::QueryIndex& qi) {
+  ByteWriter w;
+  w.i32(qi.leaf_size);
+  w.u32(static_cast<std::uint32_t>(qi.num_nodes));
+  encode_i32_array(w, qi.piece_level);
+  encode_i64_array(w, qi.sep_off);
+  encode_i32_array(w, qi.sep_nodes);
+  encode_i64_array(w, qi.path_off);
+  encode_i32_array(w, qi.path_piece);
+  encode_i64_array(w, qi.block_off);
+  encode_i32_array(w, qi.dist);
+  encode_i32_array(w, qi.leaf_pos);
+  encode_i64_array(w, qi.leaf_tab_off);
+  encode_i32_array(w, qi.leaf_tab);
+  return w.take();
+}
+
+query::QueryIndex decode_query_index(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  query::QueryIndex qi;
+  qi.leaf_size = r.i32();
+  const std::uint32_t n = r.u32();
+  if (n > (1u << 30)) malformed("implausible query index node count");
+  qi.num_nodes = static_cast<planar::NodeId>(n);
+  qi.piece_level = decode_i32_array(r, "piece_level");
+  qi.sep_off = decode_i64_array(r, "sep_off");
+  qi.sep_nodes = decode_i32_array(r, "sep_nodes");
+  qi.path_off = decode_i64_array(r, "path_off");
+  qi.path_piece = decode_i32_array(r, "path_piece");
+  qi.block_off = decode_i64_array(r, "block_off");
+  qi.dist = decode_i32_array(r, "dist");
+  qi.leaf_pos = decode_i32_array(r, "leaf_pos");
+  qi.leaf_tab_off = decode_i64_array(r, "leaf_tab_off");
+  qi.leaf_tab = decode_i32_array(r, "leaf_tab");
+  r.expect_exhausted("query index section");
+
+  const std::size_t pieces = qi.piece_level.size();
+  if (qi.sep_off.size() != pieces + 1 ||
+      qi.leaf_tab_off.size() != pieces + 1) {
+    malformed("query index: piece table sizes disagree");
+  }
+  if (qi.path_off.size() != static_cast<std::size_t>(n) + 1 ||
+      qi.leaf_pos.size() != static_cast<std::size_t>(n)) {
+    malformed("query index: node table sizes disagree");
+  }
+  check_offsets(qi.sep_off, qi.sep_nodes.size(), "sep");
+  check_offsets(qi.path_off, qi.path_piece.size(), "path");
+  check_offsets(qi.leaf_tab_off, qi.leaf_tab.size(), "leaf table");
+  if (qi.block_off.size() != qi.path_piece.size()) {
+    malformed("query index: block_off/path_piece sizes disagree");
+  }
+  for (const std::int32_t p : qi.path_piece) {
+    if (p < 0 || static_cast<std::size_t>(p) >= pieces) {
+      malformed("query index: chain references unknown piece " +
+                std::to_string(p));
+    }
+  }
+  return qi;
+}
+
 DfsArtifact dfs_artifact_from_tree(const dfs::PartialDfsTree& tree) {
   DfsArtifact d;
   d.root = tree.root();

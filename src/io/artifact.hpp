@@ -37,7 +37,9 @@
 #include "dfs/partial_tree.hpp"
 #include "io/binary.hpp"
 #include "planar/embedded_graph.hpp"
+#include "query/index.hpp"
 #include "separator/engine.hpp"
+#include "separator/hierarchy.hpp"
 #include "shortcuts/cost.hpp"
 
 namespace plansep::io {
@@ -54,6 +56,8 @@ enum class SectionId : std::uint32_t {
   kCoords = 3,     ///< optional straight-line coordinates
   kSeparator = 4,  ///< one part's cycle-separator result + cost
   kDfsTree = 5,    ///< DFS tree (parents/depths) + build cost
+  kHierarchy = 6,  ///< recursive separator decomposition (pieces + cost)
+  kQueryIndex = 7, ///< distance-oracle index over a kHierarchy section
 };
 
 /// One decoded section: id plus raw payload (CRC already verified).
@@ -130,6 +134,23 @@ SeparatorArtifact decode_separator(const std::vector<std::uint8_t>& bytes);
 std::vector<std::uint8_t> encode_dfs(const DfsArtifact& d);  ///< kDfsTree codec
 /// Decodes a kDfsTree payload.
 DfsArtifact decode_dfs(const std::vector<std::uint8_t>& bytes);
+
+/// A persisted separator hierarchy: the node count plus the pieces and
+/// build cost. Only the pieces are encoded; the decoder restores every
+/// derived table through SeparatorHierarchy::rebuild_derived.
+struct HierarchyArtifact {
+  planar::NodeId num_nodes = 0;            ///< graph size the pieces cover
+  separator::SeparatorHierarchy hierarchy; ///< pieces + cost (+ derived)
+};
+
+std::vector<std::uint8_t> encode_hierarchy(const HierarchyArtifact& h);  ///< kHierarchy codec
+/// Decodes a kHierarchy payload, validating piece structure (parents
+/// precede children, node ids in range) and rebuilding derived tables.
+HierarchyArtifact decode_hierarchy(const std::vector<std::uint8_t>& bytes);
+
+std::vector<std::uint8_t> encode_query_index(const query::QueryIndex& qi);  ///< kQueryIndex codec
+/// Decodes a kQueryIndex payload, validating array-size consistency.
+query::QueryIndex decode_query_index(const std::vector<std::uint8_t>& bytes);
 
 /// Extracts a DfsArtifact from a built tree (the persistence direction).
 DfsArtifact dfs_artifact_from_tree(const dfs::PartialDfsTree& tree);

@@ -1,0 +1,154 @@
+#include "query/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace plansep::query {
+
+namespace {
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+}  // namespace
+
+QueryEngine::QueryEngine(planar::EmbeddedGraph g,
+                         separator::SeparatorHierarchy h, QueryIndex qi)
+    : g_(std::move(g)), h_(std::move(h)), qi_(std::move(qi)) {
+  PLANSEP_CHECK(qi_.num_nodes == g_.num_nodes());
+  PLANSEP_CHECK(h_.num_nodes() == g_.num_nodes());
+  PLANSEP_CHECK(qi_.piece_level.size() == h_.pieces.size());
+  dirty_.assign(h_.pieces.size(), 0);
+}
+
+std::int64_t QueryEngine::distance(NodeId u, NodeId v) {
+  const NodeId n = qi_.num_nodes;
+  PLANSEP_CHECK_MSG(u >= 0 && u < n && v >= 0 && v < n,
+                    "query endpoints outside [0, n)");
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (u == v) return 0;
+  if (dirty_count_.load(std::memory_order_relaxed) > 0) {
+    rebuild_dirty_on_paths(u, v);
+  }
+
+  const std::int64_t au = qi_.path_off[static_cast<std::size_t>(u)];
+  const std::int64_t av = qi_.path_off[static_cast<std::size_t>(v)];
+  const std::int32_t lu = qi_.path_len(u);
+  const std::int32_t lv = qi_.path_len(v);
+  const std::int32_t common_max = std::min(lu, lv);
+  std::int64_t best = kInf;
+  long long scanned = 0;
+  long long terms = 0;
+  for (std::int32_t i = 0; i < common_max; ++i) {
+    const std::int32_t p = qi_.path_piece[static_cast<std::size_t>(au + i)];
+    if (p != qi_.path_piece[static_cast<std::size_t>(av + i)]) break;
+    ++scanned;
+    const std::int32_t sc = qi_.sep_count(p);
+    terms += sc;
+    const std::int32_t* du =
+        qi_.dist.data() + qi_.block_off[static_cast<std::size_t>(au + i)];
+    const std::int32_t* dv =
+        qi_.dist.data() + qi_.block_off[static_cast<std::size_t>(av + i)];
+    for (std::int32_t s = 0; s < sc; ++s) {
+      if (du[s] >= 0 && dv[s] >= 0) {
+        best = std::min(best,
+                        static_cast<std::int64_t>(du[s]) + dv[s]);
+      }
+    }
+  }
+  if (qi_.leaf_pos[static_cast<std::size_t>(u)] >= 0 &&
+      qi_.leaf_pos[static_cast<std::size_t>(v)] >= 0) {
+    const std::int32_t pu =
+        qi_.path_piece[static_cast<std::size_t>(au + lu - 1)];
+    const std::int32_t pv =
+        qi_.path_piece[static_cast<std::size_t>(av + lv - 1)];
+    if (pu == pv) {
+      leaf_pairs_.fetch_add(1, std::memory_order_relaxed);
+      const std::int64_t base =
+          qi_.leaf_tab_off[static_cast<std::size_t>(pu)];
+      const std::int64_t sz = static_cast<std::int64_t>(
+          h_.pieces[static_cast<std::size_t>(pu)].nodes.size());
+      const std::int32_t t = qi_.leaf_tab[static_cast<std::size_t>(
+          base + qi_.leaf_pos[static_cast<std::size_t>(u)] * sz +
+          qi_.leaf_pos[static_cast<std::size_t>(v)])];
+      if (t >= 0) best = std::min(best, static_cast<std::int64_t>(t));
+    }
+  }
+  pieces_scanned_.fetch_add(scanned, std::memory_order_relaxed);
+  sep_terms_.fetch_add(terms, std::memory_order_relaxed);
+  return best >= kInf ? static_cast<std::int64_t>(kUnreachable) : best;
+}
+
+bool QueryEngine::reachable(NodeId u, NodeId v) {
+  return distance(u, v) >= 0;
+}
+
+std::vector<std::int64_t> QueryEngine::distances(
+    const std::vector<std::pair<NodeId, NodeId>>& pairs) {
+  std::vector<std::int64_t> out;
+  out.reserve(pairs.size());
+  for (const auto& [u, v] : pairs) out.push_back(distance(u, v));
+  return out;
+}
+
+void QueryEngine::kill_edge(NodeId a, NodeId b) {
+  const NodeId n = qi_.num_nodes;
+  PLANSEP_CHECK_MSG(a >= 0 && a < n && b >= 0 && b < n,
+                    "kill_edge endpoints outside [0, n)");
+  if (a == b || !g_.has_edge(a, b) || killed_.contains(a, b)) return;
+  std::lock_guard<std::mutex> lk(rebuild_mu_);
+  killed_.insert(a, b);
+  ++edges_killed_;
+  obs::add_counter("query/edges_killed");
+  // Only pieces containing both endpoints can have BFS'd across the
+  // edge: exactly the common prefix of the two ancestor chains.
+  const std::int64_t aa = qi_.path_off[static_cast<std::size_t>(a)];
+  const std::int64_t ab = qi_.path_off[static_cast<std::size_t>(b)];
+  const std::int32_t common = std::min(qi_.path_len(a), qi_.path_len(b));
+  for (std::int32_t i = 0; i < common; ++i) {
+    const std::int32_t p = qi_.path_piece[static_cast<std::size_t>(aa + i)];
+    if (p != qi_.path_piece[static_cast<std::size_t>(ab + i)]) break;
+    if (!dirty_[static_cast<std::size_t>(p)]) {
+      dirty_[static_cast<std::size_t>(p)] = 1;
+      dirty_count_.fetch_add(1, std::memory_order_relaxed);
+      ++pieces_dirtied_;
+      obs::add_counter("query/pieces_dirtied");
+    }
+  }
+}
+
+void QueryEngine::rebuild_piece_locked(int p) {
+  solve_piece(g_, h_, p, qi_, &killed_, ws_);
+  solve_leaf(g_, h_, p, qi_, &killed_, ws_);
+  dirty_[static_cast<std::size_t>(p)] = 0;
+  dirty_count_.fetch_sub(1, std::memory_order_relaxed);
+  ++pieces_rebuilt_;
+  obs::add_counter("query/pieces_rebuilt");
+}
+
+void QueryEngine::rebuild_dirty_on_paths(NodeId u, NodeId v) {
+  std::lock_guard<std::mutex> lk(rebuild_mu_);
+  if (dirty_count_.load(std::memory_order_relaxed) == 0) return;
+  const std::int64_t au = qi_.path_off[static_cast<std::size_t>(u)];
+  const std::int64_t av = qi_.path_off[static_cast<std::size_t>(v)];
+  const std::int32_t common = std::min(qi_.path_len(u), qi_.path_len(v));
+  for (std::int32_t i = 0; i < common; ++i) {
+    const std::int32_t p = qi_.path_piece[static_cast<std::size_t>(au + i)];
+    if (p != qi_.path_piece[static_cast<std::size_t>(av + i)]) break;
+    if (dirty_[static_cast<std::size_t>(p)]) rebuild_piece_locked(p);
+  }
+}
+
+QueryCounters QueryEngine::counters() const {
+  QueryCounters c;
+  c.queries = queries_.load(std::memory_order_relaxed);
+  c.pieces_scanned = pieces_scanned_.load(std::memory_order_relaxed);
+  c.sep_terms = sep_terms_.load(std::memory_order_relaxed);
+  c.leaf_pairs = leaf_pairs_.load(std::memory_order_relaxed);
+  c.edges_killed = edges_killed_;
+  c.pieces_dirtied = pieces_dirtied_;
+  c.pieces_rebuilt = pieces_rebuilt_;
+  return c;
+}
+
+}  // namespace plansep::query

@@ -1,0 +1,178 @@
+#include "query/service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/fingerprint.hpp"
+#include "io/artifact.hpp"
+#include "io/corpus.hpp"
+#include "obs/metrics.hpp"
+#include "planar/generators.hpp"
+#include "shortcuts/partwise.hpp"
+
+namespace plansep::query {
+
+serve::CacheKey index_cache_key(std::uint64_t fingerprint, NodeId root,
+                                int leaf_size) {
+  const std::uint64_t config_hash =
+      core::mix_seed(0x726f6f7400000000ULL /* "root" */,
+                     static_cast<std::uint64_t>(root),
+                     static_cast<std::uint64_t>(leaf_size));
+  return serve::CacheKey{fingerprint, kIndexAlgorithmId, config_hash};
+}
+
+EngineCache::EngineCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<QueryEngine> EngineCache::get_or_build(std::uint64_t address,
+                                                       const Builder& build,
+                                                       bool* was_hit) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = index_.find(address);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++counters_.hits;
+    if (was_hit != nullptr) *was_hit = true;
+    return it->second->second;
+  }
+  ++counters_.misses;
+  if (was_hit != nullptr) *was_hit = false;
+  std::shared_ptr<QueryEngine> eng = build();
+  lru_.emplace_front(address, eng);
+  index_[address] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+  return eng;
+}
+
+EngineCache::Counters EngineCache::counters() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_;
+}
+
+std::size_t EngineCache::entries() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return lru_.size();
+}
+
+std::shared_ptr<QueryEngine> engine_from_artifact_bytes(
+    const planar::EmbeddedGraph& g, const std::vector<std::uint8_t>& bytes) {
+  const io::Artifact a = io::parse(bytes);
+  const io::Section* hs = a.find(io::SectionId::kHierarchy);
+  if (hs == nullptr) throw io::FormatError("artifact lacks kHierarchy");
+  const io::Section* qs = a.find(io::SectionId::kQueryIndex);
+  if (qs == nullptr) throw io::FormatError("artifact lacks kQueryIndex");
+  io::HierarchyArtifact ha = io::decode_hierarchy(hs->bytes);
+  QueryIndex qi = io::decode_query_index(qs->bytes);
+  if (ha.num_nodes != g.num_nodes() || qi.num_nodes != g.num_nodes()) {
+    throw io::FormatError("hierarchy/index node count does not match graph");
+  }
+  return std::make_shared<QueryEngine>(g, std::move(ha.hierarchy),
+                                       std::move(qi));
+}
+
+namespace {
+
+void check_pairs(const std::vector<std::pair<NodeId, NodeId>>& pairs,
+                 NodeId n, const char* what) {
+  for (const auto& [u, v] : pairs) {
+    if (u < 0 || u >= n || v < 0 || v >= n) {
+      throw std::runtime_error(std::string(what) + " (" + std::to_string(u) +
+                               ", " + std::to_string(v) +
+                               ") outside [0, " + std::to_string(n) + ")");
+    }
+  }
+}
+
+}  // namespace
+
+QueryOutcome run_query_job(const QueryJob& job,
+                           const serve::BatchOptions& opts,
+                           serve::ArtifactCache& cache, EngineCache* engines) {
+  QueryOutcome out;
+  try {
+    if (job.leaf_size < 1 || job.leaf_size > (1 << 20)) {
+      throw std::runtime_error("leaf size " + std::to_string(job.leaf_size) +
+                               " outside [1, 2^20]");
+    }
+
+    // --- acquire the instance (generate-or-load, as execute_job does) ----
+    planar::EmbeddedGraph g;
+    planar::NodeId root = 0;
+    std::string family = job.instance.family;
+    if (!job.instance.graph_path.empty()) {
+      io::LoadedGraph loaded = io::load_graph(job.instance.graph_path);
+      g = std::move(loaded.graph);
+      if (!loaded.meta.family.empty()) family = loaded.meta.family;
+    } else {
+      const auto fam = planar::family_from_name(job.instance.family);
+      if (!fam) {
+        throw std::runtime_error("unknown family '" + job.instance.family +
+                                 "'");
+      }
+      planar::GeneratedGraph gg =
+          planar::make_instance(*fam, job.instance.n, job.instance.seed);
+      g = std::move(gg.graph);
+      root = gg.root_hint;
+      if (!opts.corpus_dir.empty()) {
+        io::store_in_corpus(opts.corpus_dir, job.instance.family, g,
+                            job.instance.seed);
+      }
+    }
+    const NodeId n = g.num_nodes();
+    check_pairs(job.pairs, n, "query pair");
+    check_pairs(job.dead_edges, n, "dead edge");
+
+    // --- the persisted index, through the shared result cache -----------
+    const std::uint64_t fingerprint = core::topology_fingerprint(g);
+    const serve::CacheKey key =
+        index_cache_key(fingerprint, root, job.leaf_size);
+    const serve::ArtifactCache::Value bytes = cache.get_or_compute(key, [&] {
+      shortcuts::PartwiseEngine part_engine(g, root);
+      const separator::SeparatorHierarchy h =
+          separator::build_hierarchy(g, part_engine, job.leaf_size);
+      // Fanning the per-piece solves over opts.threads is byte-identical
+      // to the serial build (disjoint writes), so the cached artifact is
+      // the same no matter who computed it.
+      const QueryIndex qi =
+          build_query_index(g, h, job.leaf_size, std::max(1, opts.threads));
+      io::Artifact a;
+      a.add(io::SectionId::kMeta,
+            io::encode_meta({family, job.instance.seed, fingerprint}));
+      a.add(io::SectionId::kHierarchy, io::encode_hierarchy({n, h}));
+      a.add(io::SectionId::kQueryIndex, io::encode_query_index(qi));
+      return io::assemble(a);
+    });
+
+    // --- one bytes→answers path, warm or cold ----------------------------
+    std::shared_ptr<QueryEngine> engine;
+    if (job.dead_edges.empty() && engines != nullptr) {
+      engine = engines->get_or_build(
+          serve::cache_address(key),
+          [&] { return engine_from_artifact_bytes(g, *bytes); },
+          &out.engine_cache_hit);
+    } else {
+      // Dead-edge jobs get a private engine: kill state is session-scoped
+      // and must never leak into a shared oracle.
+      engine = engine_from_artifact_bytes(g, *bytes);
+      for (const auto& [a, b] : job.dead_edges) engine->kill_edge(a, b);
+    }
+    out.distances = engine->distances(job.pairs);
+    if (obs::MetricsRegistry* reg = obs::global_registry()) {
+      reg->add("query/jobs");
+      reg->add("query/answers",
+               static_cast<long long>(out.distances.size()));
+    }
+  } catch (const std::exception& e) {
+    out.status = "error";
+    out.error = e.what();
+    out.distances.clear();
+  }
+  return out;
+}
+
+}  // namespace plansep::query

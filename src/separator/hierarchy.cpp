@@ -1,6 +1,7 @@
 #include "separator/hierarchy.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "obs/metrics.hpp"
 #include "subroutines/components.hpp"
@@ -8,6 +9,39 @@
 #include "util/check.hpp"
 
 namespace plansep::separator {
+
+int SeparatorHierarchy::leaf_of(NodeId v) const {
+  PLANSEP_CHECK_MSG(v >= 0 && static_cast<std::size_t>(v) < leaf_of_.size(),
+                    "leaf_of: node " + std::to_string(v) +
+                        " outside [0, " + std::to_string(leaf_of_.size()) +
+                        ")");
+  return leaf_of_[static_cast<std::size_t>(v)];
+}
+
+void SeparatorHierarchy::rebuild_derived(NodeId n) {
+  in_separator.assign(static_cast<std::size_t>(n), 0);
+  leaf_of_.assign(static_cast<std::size_t>(n), -1);
+  levels = 0;
+  separator_nodes = 0;
+  for (auto& piece : pieces) piece.children.clear();
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    const HierarchyPiece& piece = pieces[i];
+    levels = std::max(levels, piece.level + 1);
+    if (piece.parent >= 0) {
+      pieces[static_cast<std::size_t>(piece.parent)].children.push_back(
+          static_cast<int>(i));
+    }
+    for (const NodeId v : piece.separator) {
+      in_separator[static_cast<std::size_t>(v)] = 1;
+      ++separator_nodes;
+    }
+    if (piece.is_leaf()) {
+      for (const NodeId v : piece.nodes) {
+        leaf_of_[static_cast<std::size_t>(v)] = static_cast<int>(i);
+      }
+    }
+  }
+}
 
 SeparatorHierarchy build_hierarchy(const planar::EmbeddedGraph& g,
                                    shortcuts::PartwiseEngine& engine,

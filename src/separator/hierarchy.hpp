@@ -30,14 +30,30 @@ struct SeparatorHierarchy {
   long long separator_nodes = 0;
   shortcuts::RoundCost cost;
 
-  /// Leaf piece containing v, or -1 if v is a separator node.
-  int leaf_of(NodeId v) const { return leaf_of_[static_cast<std::size_t>(v)]; }
+  /// Leaf piece containing v, or -1 if v is a separator node. Throws
+  /// CheckError when v is outside [0, n).
+  int leaf_of(NodeId v) const;
 
-  std::vector<int> leaf_of_;  // filled by build_hierarchy
+  /// Number of nodes the per-node tables cover.
+  NodeId num_nodes() const { return static_cast<NodeId>(leaf_of_.size()); }
+
+  /// Recomputes every derived table — children links, in_separator,
+  /// leaf_of, levels, separator_nodes — from `pieces` alone. This is the
+  /// decode direction of the kHierarchy artifact codec: only the pieces
+  /// are persisted, the rest is a pure function of them.
+  void rebuild_derived(NodeId n);
+
+ private:
+  std::vector<int> leaf_of_;  // per node; filled by build_hierarchy
+
+  friend SeparatorHierarchy build_hierarchy(const planar::EmbeddedGraph& g,
+                                            shortcuts::PartwiseEngine& engine,
+                                            int leaf_size);
 };
 
-/// Builds the full hierarchy over the connected graph g. Pieces with at
-/// most `leaf_size` nodes are not split further.
+/// Builds the full hierarchy over the graph g (one root piece per
+/// connected component). Pieces with at most `leaf_size` nodes are not
+/// split further.
 SeparatorHierarchy build_hierarchy(const planar::EmbeddedGraph& g,
                                    shortcuts::PartwiseEngine& engine,
                                    int leaf_size);

@@ -14,6 +14,8 @@
 #include "core/plansep.hpp"
 #include "io/artifact.hpp"
 #include "io/corpus.hpp"
+#include "query/index.hpp"
+#include "separator/hierarchy.hpp"
 #include "shortcuts/partwise.hpp"
 
 namespace plansep {
@@ -119,6 +121,62 @@ TEST(ProptestIo, SeparatorAndDfsArtifactsRoundTrip) {
   EXPECT_EQ(da2.depth, da.depth);
   EXPECT_EQ(da2.phases, da.phases);
   EXPECT_EQ(io::encode_dfs(da2), dfs_bytes);
+}
+
+TEST(ProptestIo, HierarchyAndQueryIndexRoundTripAcrossFamilies) {
+  // assemble ∘ parse = identity for the kHierarchy and kQueryIndex
+  // sections, and re-encoding the decoded values reproduces the payload
+  // bytes — the canonical-encoding property the query cache relies on.
+  for (const planar::Family f : planar::all_families()) {
+    const auto gg = planar::make_instance(f, 48, 5);
+    shortcuts::PartwiseEngine engine(gg.graph, gg.root_hint);
+    const separator::SeparatorHierarchy h =
+        separator::build_hierarchy(gg.graph, engine, /*leaf_size=*/8);
+    const query::QueryIndex qi =
+        query::build_query_index(gg.graph, h, /*leaf_size=*/8);
+
+    const auto h_bytes =
+        io::encode_hierarchy({gg.graph.num_nodes(), h});
+    const auto q_bytes = io::encode_query_index(qi);
+
+    io::Artifact a;
+    a.add(io::SectionId::kHierarchy, h_bytes);
+    a.add(io::SectionId::kQueryIndex, q_bytes);
+    const auto container = io::assemble(a);
+    const io::Artifact b = io::parse(container);
+    EXPECT_EQ(io::assemble(b), container) << planar::family_name(f);
+
+    const io::HierarchyArtifact h2 =
+        io::decode_hierarchy(b.find(io::SectionId::kHierarchy)->bytes);
+    EXPECT_EQ(io::encode_hierarchy(h2), h_bytes) << planar::family_name(f);
+    EXPECT_EQ(h2.hierarchy.pieces.size(), h.pieces.size());
+    EXPECT_EQ(h2.hierarchy.in_separator, h.in_separator);
+    for (planar::NodeId v = 0; v < gg.graph.num_nodes(); ++v) {
+      EXPECT_EQ(h2.hierarchy.leaf_of(v), h.leaf_of(v))
+          << planar::family_name(f) << " v=" << v;
+    }
+
+    const query::QueryIndex qi2 =
+        io::decode_query_index(b.find(io::SectionId::kQueryIndex)->bytes);
+    EXPECT_EQ(io::encode_query_index(qi2), q_bytes)
+        << planar::family_name(f);
+  }
+}
+
+TEST(ProptestIo, CorruptHierarchyAndIndexPayloadsAreRejected) {
+  const auto gg = planar::make_instance(planar::Family::kGrid, 25, 1);
+  shortcuts::PartwiseEngine engine(gg.graph, gg.root_hint);
+  const separator::SeparatorHierarchy h =
+      separator::build_hierarchy(gg.graph, engine, 4);
+  const query::QueryIndex qi = query::build_query_index(gg.graph, h, 4);
+
+  auto h_bytes = io::encode_hierarchy({gg.graph.num_nodes(), h});
+  h_bytes.resize(h_bytes.size() / 2);  // truncation
+  EXPECT_THROW(io::decode_hierarchy(h_bytes), io::FormatError);
+
+  auto q_bytes = io::encode_query_index(qi);
+  q_bytes.push_back(0);  // trailing garbage
+  EXPECT_THROW(io::decode_query_index(q_bytes), io::FormatError);
 }
 
 TEST(ProptestIo, FileRoundTripAndCorpusAddressing) {
