@@ -44,6 +44,7 @@ KIND_FIELDS = {
     "parallel_engine": WALL_FIELDS,
     "loadgen": ("wall_ms",),
     "query": ("warm_wall_ms", "cold_job_ms"),
+    "ingest": ("wall_ms", "reject_wall_ms"),
 }
 
 

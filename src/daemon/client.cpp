@@ -120,6 +120,44 @@ std::optional<QueryResponsePayload> Client::query(
   return decode_query_response(hit->payload);
 }
 
+void Client::submit_ingest(std::uint64_t id, const IngestRequestPayload& req) {
+  send_frame(FrameType::kIngestReq, id, encode_ingest_request(req));
+}
+
+std::optional<IngestResponsePayload> Client::ingest(
+    std::uint64_t id, const IngestRequestPayload& req, int timeout_ms) {
+  submit_ingest(id, req);
+  // Same shape as query(): kIngestResp, or an immediate kReject/kError.
+  const auto wanted = [id](const io::Frame& f) {
+    return f.id == id &&
+           (f.type == static_cast<std::uint8_t>(FrameType::kIngestResp) ||
+            f.type == static_cast<std::uint8_t>(FrameType::kReject) ||
+            f.type == static_cast<std::uint8_t>(FrameType::kError));
+  };
+  std::optional<io::Frame> hit;
+  for (auto it = stash_.begin(); it != stash_.end(); ++it) {
+    if (wanted(*it)) {
+      hit = std::move(*it);
+      stash_.erase(it);
+      break;
+    }
+  }
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (!hit) {
+    auto f = read_socket_frame(remaining_ms(deadline));
+    if (!f) return std::nullopt;
+    if (wanted(*f)) {
+      hit = std::move(*f);
+    } else {
+      stash_.push_back(std::move(*f));
+    }
+  }
+  if (hit->type != static_cast<std::uint8_t>(FrameType::kIngestResp)) {
+    return std::nullopt;
+  }
+  return decode_ingest_response(hit->payload);
+}
+
 std::optional<io::Frame> Client::read_socket_frame(int timeout_ms) {
   const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   for (;;) {

@@ -78,6 +78,14 @@ class Client {
                                             const QueryRequestPayload& req,
                                             int timeout_ms = 30000);
 
+  /// Submits one edge-list admission (kIngestReq).
+  void submit_ingest(std::uint64_t id, const IngestRequestPayload& req);
+  /// submit_ingest + blocking wait for its kIngestResp; nullopt on
+  /// timeout, a reject or an error frame for the id.
+  std::optional<IngestResponsePayload> ingest(std::uint64_t id,
+                                              const IngestRequestPayload& req,
+                                              int timeout_ms = 30000);
+
   /// Next frame (stash first, then the socket). nullopt on timeout or
   /// EOF; throws io::FormatError if the daemon's byte stream is
   /// malformed.

@@ -143,6 +143,56 @@ bool Dispatcher::chaos_fires(std::uint64_t id, int attempt) const {
 }
 
 void Dispatcher::execute(Item item) {
+  if (item.sub.ingest != nullptr) {
+    // Ingest jobs are pure functions of (text, options) plus one
+    // idempotent corpus write; no global hooks, so a shared lock and a
+    // single attempt suffice (same reasoning as query jobs below).
+    IngestOutcome outcome;
+    ingest::IngestOptions opts = item.sub.ingest->options;
+    opts.corpus_root = opts_.batch.corpus_dir;
+    try {
+      ingest::IngestResult res;
+      {
+        std::shared_lock<std::shared_mutex> sh(fault_mu_);
+        res = ingest::ingest_string(item.sub.ingest->text, opts);
+      }
+      outcome.status = "ok";
+      outcome.fingerprint = res.meta.fingerprint;
+      outcome.corpus_path = res.corpus_file;
+      outcome.nodes = res.graph.num_nodes();
+      outcome.edges = res.graph.num_edges();
+      metrics_.add("daemon/ingest_accepted");
+    } catch (const ingest::IngestError& e) {
+      outcome.status = "rejected";
+      outcome.error_code = static_cast<std::uint8_t>(e.code());
+      outcome.error = e.what();
+      outcome.witness = e.witness();
+      if (outcome.witness.size() > kMaxWitnessEdges) {
+        outcome.witness.resize(kMaxWitnessEdges);
+      }
+      metrics_.add("daemon/ingest_rejected");
+    }
+    metrics_.add("daemon/completed");
+    metrics_.add("daemon/ingests");
+    metrics_.job_completed(item.sub.id, 1);
+    if (item.done) {
+      JobDone done;
+      done.client = item.sub.client;
+      done.id = item.sub.id;
+      done.client_seq = item.client_seq;
+      done.is_ingest = true;
+      done.ingest_outcome = std::move(outcome);
+      item.done(done);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --outstanding_[item.sub.client];
+      --running_;
+    }
+    idle_cv_.notify_all();
+    return;
+  }
+
   if (item.sub.query != nullptr) {
     // Query jobs never install the process-global fault injector and are
     // pure functions of (job, artifact bytes), so chaos re-runs would buy

@@ -49,6 +49,7 @@
 #include "congest/network.hpp"
 #include "daemon/metrics.hpp"
 #include "daemon/protocol.hpp"
+#include "ingest/pipeline.hpp"
 #include "query/service.hpp"
 #include "serve/batch.hpp"
 
@@ -74,17 +75,43 @@ struct DispatcherOptions {
   std::size_t engine_capacity = 4;  ///< prepared query engines held (LRU)
 };
 
-/// One admitted unit of work: a pipeline job (spec) or, when `query` is
-/// set, a batched distance-query job. Both classes share the queue, the
-/// quota and the backpressure bound — a query is admitted (or rejected)
+/// One admitted edge-list admission: the untrusted text plus the
+/// pipeline knobs. The dispatcher fills in the corpus root from its
+/// batch options, so wire clients cannot point ingest at arbitrary
+/// directories.
+struct IngestJob {
+  ingest::IngestOptions options;  ///< caps + policies (corpus_root ignored)
+  std::string text;               ///< the edge-list bytes
+};
+
+/// The verdict of one ingest job. Never an exception across the worker
+/// boundary: a rejection is a normal outcome ("rejected" + typed code),
+/// mirroring how query errors travel in QueryOutcome.
+struct IngestOutcome {
+  std::string status;             ///< "ok" / "rejected"
+  std::uint8_t error_code = 0;    ///< ingest::IngestErrorCode; 0 when ok
+  std::string error;              ///< rejection message; "" when ok
+  std::uint64_t fingerprint = 0;  ///< corpus identity when ok
+  std::string corpus_path;        ///< stored path ("" when unstored)
+  std::int64_t nodes = 0;         ///< canonical node count when ok
+  std::int64_t edges = 0;         ///< canonical edge count when ok
+  std::vector<std::pair<long long, long long>> witness;  ///< non-planar
+};
+
+/// One admitted unit of work: a pipeline job (spec) or, when `query` /
+/// `ingest` is set, a batched distance-query job or an edge-list
+/// admission. All classes share the queue, the quota and the
+/// backpressure bound — a query or ingest is admitted (or rejected)
 /// exactly like a submit.
 struct Submission {
   std::uint64_t client = 0;  ///< session identity (quota + delivery order)
   std::uint64_t id = 0;      ///< client-chosen correlation id
   Priority priority = Priority::kNormal;  ///< scheduling class
-  serve::JobSpec spec;       ///< the job (ignored when `query` is set)
+  serve::JobSpec spec;       ///< the job (ignored when `query`/`ingest` set)
   /// Set for query jobs; shared so admitted items stay cheap to move.
-  std::shared_ptr<const query::QueryJob> query;
+  std::shared_ptr<const query::QueryJob> query = nullptr;
+  /// Set for ingest jobs (at most one of `query`/`ingest` is set).
+  std::shared_ptr<const IngestJob> ingest = nullptr;
 };
 
 /// Delivered to the completion callback, exactly once per admitted job.
@@ -92,9 +119,11 @@ struct JobDone {
   std::uint64_t client = 0;      ///< submitting session
   std::uint64_t id = 0;          ///< the submission's correlation id
   std::uint64_t client_seq = 0;  ///< admission order within the client
-  bool is_query = false;         ///< which result field is live
+  bool is_query = false;         ///< query_outcome is live
+  bool is_ingest = false;        ///< ingest_outcome is live
   serve::JobResult result;       ///< the job's outcome row (pipeline jobs)
   query::QueryOutcome query_outcome;  ///< the batch answers (query jobs)
+  IngestOutcome ingest_outcome;  ///< the admission verdict (ingest jobs)
 };
 
 /// Admission-controlled worker pool over serve::run_single_job.

@@ -191,6 +191,90 @@ QueryResponsePayload decode_query_response(
   return p;
 }
 
+std::vector<std::uint8_t> encode_ingest_request(const IngestRequestPayload& p) {
+  io::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(p.priority));
+  w.u8(p.format);
+  w.u8(p.drop_self_loops);
+  w.u8(p.drop_duplicates);
+  w.u8(p.triangulate);
+  w.str(p.family);
+  w.i64(p.max_nodes);
+  w.i64(p.max_edges);
+  w.str(p.text);
+  return w.take();
+}
+
+IngestRequestPayload decode_ingest_request(
+    const std::vector<std::uint8_t>& bytes) {
+  io::ByteReader r(bytes);
+  IngestRequestPayload p;
+  const std::uint8_t pr = r.u8();
+  if (pr > static_cast<std::uint8_t>(Priority::kHigh)) {
+    throw io::FormatError("ingest request payload: unknown priority " +
+                          std::to_string(pr));
+  }
+  p.priority = static_cast<Priority>(pr);
+  p.format = r.u8();
+  if (p.format > 2) {
+    throw io::FormatError("ingest request payload: unknown format " +
+                          std::to_string(p.format));
+  }
+  p.drop_self_loops = r.u8();
+  p.drop_duplicates = r.u8();
+  p.triangulate = r.u8();
+  p.family = r.str();
+  p.max_nodes = r.i64();
+  p.max_edges = r.i64();
+  p.text = r.str();
+  r.expect_exhausted("ingest request payload");
+  return p;
+}
+
+std::vector<std::uint8_t> encode_ingest_response(
+    const IngestResponsePayload& p) {
+  io::ByteWriter w;
+  w.str(p.status);
+  w.u8(p.error_code);
+  w.str(p.error);
+  w.u64(p.fingerprint);
+  w.str(p.corpus_path);
+  w.i64(p.nodes);
+  w.i64(p.edges);
+  w.u32(static_cast<std::uint32_t>(p.witness.size()));
+  for (const auto& [a, b] : p.witness) {
+    w.i64(a);
+    w.i64(b);
+  }
+  return w.take();
+}
+
+IngestResponsePayload decode_ingest_response(
+    const std::vector<std::uint8_t>& bytes) {
+  io::ByteReader r(bytes);
+  IngestResponsePayload p;
+  p.status = r.str();
+  p.error_code = r.u8();
+  p.error = r.str();
+  p.fingerprint = r.u64();
+  p.corpus_path = r.str();
+  p.nodes = r.i64();
+  p.edges = r.i64();
+  const std::uint32_t count = r.u32();
+  if (count > io::kMaxFramePayload / 16) {
+    throw io::FormatError("ingest response payload: witness count " +
+                          std::to_string(count) + " exceeds frame bound");
+  }
+  p.witness.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::int64_t a = r.i64();
+    const std::int64_t b = r.i64();
+    p.witness.emplace_back(a, b);
+  }
+  r.expect_exhausted("ingest response payload");
+  return p;
+}
+
 std::vector<std::uint8_t> make_frame(FrameType type, std::uint64_t id,
                                      std::vector<std::uint8_t> payload) {
   io::Frame f;

@@ -28,6 +28,8 @@
 //   kDrained      TextPayload        drain complete; summary JSON
 //   kQueryReq     QueryRequestPayload  one batched distance-query job
 //   kQueryResp    QueryResponsePayload the batch's answers, admission order
+//   kIngestReq    IngestRequestPayload  one untrusted edge-list admission
+//   kIngestResp   IngestResponsePayload verdict + corpus identity/witness
 //
 // Payload codecs reuse io::ByteWriter/ByteReader, so malformed payloads
 // surface as io::FormatError with an offset, exactly like artifact
@@ -59,6 +61,8 @@ enum class FrameType : std::uint8_t {
   kDrained = 12,      ///< daemon → client: TextPayload (drain summary JSON)
   kQueryReq = 13,     ///< client → daemon: QueryRequestPayload
   kQueryResp = 14,    ///< daemon → client: QueryResponsePayload
+  kIngestReq = 15,    ///< client → daemon: IngestRequestPayload
+  kIngestResp = 16,   ///< daemon → client: IngestResponsePayload
 };
 
 /// Reject/error codes carried by StatusPayload.
@@ -128,6 +132,40 @@ struct QueryResponsePayload {
   std::uint8_t engine_cache_hit = 0;    ///< served from a prepared engine
 };
 
+/// kIngestReq payload: an untrusted edge-list text (bounded by the frame
+/// payload cap, so ≲ 1 MiB per request — bulk imports go through the
+/// plansep_ingest CLI instead) plus the ingest::IngestOptions knobs.
+/// Ingests share kSubmit's admission (quota, backpressure, priorities).
+struct IngestRequestPayload {
+  Priority priority = Priority::kNormal;  ///< scheduling class
+  std::uint8_t format = 0;      ///< ingest::TextFormat value (0 = auto)
+  std::uint8_t drop_self_loops = 0;       ///< policy: drop vs reject
+  std::uint8_t drop_duplicates = 0;       ///< policy: drop vs reject
+  std::uint8_t triangulate = 0;           ///< apex-triangulate on accept
+  std::string family;                     ///< corpus bucket ("" = "ingest")
+  std::int64_t max_nodes = 0;   ///< 0 = server default cap
+  std::int64_t max_edges = 0;   ///< 0 = server default cap
+  std::string text;             ///< the edge-list bytes
+};
+
+/// kIngestResp payload: the verdict. "ok" carries the corpus identity of
+/// the accepted graph; "rejected" carries the IngestErrorCode (as its
+/// raw byte) plus detail, and for non-planar inputs a witness edge list
+/// (truncated to kMaxWitnessEdges to fit the frame).
+struct IngestResponsePayload {
+  std::string status;            ///< "ok" / "rejected" / "error"
+  std::uint8_t error_code = 0;   ///< IngestErrorCode value; 0 when ok
+  std::string error;             ///< rejection detail; "" when ok
+  std::uint64_t fingerprint = 0; ///< topology fingerprint when ok
+  std::string corpus_path;       ///< stored artifact path ("" if unstored)
+  std::int64_t nodes = 0;        ///< canonical node count when ok
+  std::int64_t edges = 0;        ///< canonical edge count when ok
+  std::vector<std::pair<std::int64_t, std::int64_t>> witness;  ///< non-planar
+};
+
+/// Witness edges a kIngestResp may carry (the server truncates).
+inline constexpr std::size_t kMaxWitnessEdges = 1024;
+
 std::vector<std::uint8_t> encode_submit(const SubmitPayload& p);  ///< kSubmit codec
 /// Decodes a kSubmit payload; throws io::FormatError on malformed bytes
 /// or an unknown priority value.
@@ -153,6 +191,16 @@ QueryRequestPayload decode_query_request(const std::vector<std::uint8_t>& bytes)
 std::vector<std::uint8_t> encode_query_response(const QueryResponsePayload& p);  ///< kQueryResp codec
 /// Decodes a kQueryResp payload.
 QueryResponsePayload decode_query_response(const std::vector<std::uint8_t>& bytes);
+
+std::vector<std::uint8_t> encode_ingest_request(const IngestRequestPayload& p);  ///< kIngestReq codec
+/// Decodes a kIngestReq payload; throws io::FormatError on malformed
+/// bytes, an unknown priority, or an unknown format value.
+IngestRequestPayload decode_ingest_request(const std::vector<std::uint8_t>& bytes);
+
+std::vector<std::uint8_t> encode_ingest_response(const IngestResponsePayload& p);  ///< kIngestResp codec
+/// Decodes a kIngestResp payload; throws on a witness count too large
+/// for a frame.
+IngestResponsePayload decode_ingest_response(const std::vector<std::uint8_t>& bytes);
 
 /// Convenience: a fully-encoded frame of the given type/id/payload.
 std::vector<std::uint8_t> make_frame(FrameType type, std::uint64_t id,

@@ -231,6 +231,9 @@ void Server::handle_frame(const std::shared_ptr<Session>& s,
     case FrameType::kQueryReq:
       handle_query(s, f);
       return;
+    case FrameType::kIngestReq:
+      handle_ingest(s, f);
+      return;
     case FrameType::kPing:
       s->send_now(make_frame(FrameType::kPong, f.id));
       return;
@@ -374,6 +377,84 @@ void Server::handle_query(const std::shared_ptr<Session>& s,
             encode_query_response(
                 {out.status, out.error, out.distances,
                  static_cast<std::uint8_t>(out.engine_cache_hit ? 1 : 0)}));
+        const auto session = weak.lock();
+        if (session == nullptr || !session->deliver(done.client_seq,
+                                                    std::move(frame))) {
+          metrics_.add("daemon/orphaned_responses");
+        }
+      });
+
+  switch (adm) {
+    case Admission::kAdmitted:
+      return;  // the response arrives through the reorder buffer
+    case Admission::kQueueFull:
+      s->send_now(make_frame(
+          FrameType::kReject, id,
+          encode_status({StatusCode::kQueueFull, "admission queue full"})));
+      return;
+    case Admission::kQuotaExceeded:
+      s->send_now(make_frame(
+          FrameType::kReject, id,
+          encode_status(
+              {StatusCode::kQuotaExceeded, "per-client quota exhausted"})));
+      return;
+    case Admission::kDraining:
+      s->send_now(make_frame(
+          FrameType::kReject, id,
+          encode_status({StatusCode::kDraining, "daemon is draining"})));
+      return;
+  }
+}
+
+void Server::handle_ingest(const std::shared_ptr<Session>& s,
+                           const io::Frame& f) {
+  IngestRequestPayload req;
+  try {
+    req = decode_ingest_request(f.payload);
+  } catch (const io::FormatError& e) {
+    metrics_.add("daemon/malformed_frames");
+    s->send_now(
+        make_frame(FrameType::kError, f.id,
+                   encode_status({StatusCode::kMalformedFrame, e.what()})));
+    return;
+  }
+
+  auto job = std::make_shared<IngestJob>();
+  job->options.format = static_cast<ingest::TextFormat>(req.format);
+  job->options.drop_self_loops = req.drop_self_loops != 0;
+  job->options.drop_duplicate_edges = req.drop_duplicates != 0;
+  job->options.triangulate = req.triangulate != 0;
+  if (!req.family.empty()) job->options.family = req.family;
+  // Client caps may only tighten the server defaults, never widen them.
+  if (req.max_nodes > 0) {
+    job->options.max_nodes = std::min(job->options.max_nodes, req.max_nodes);
+  }
+  if (req.max_edges > 0) {
+    job->options.max_edges = std::min(job->options.max_edges, req.max_edges);
+  }
+  job->text = std::move(req.text);
+
+  const std::uint64_t id = f.id;
+  Submission sub;
+  sub.client = s->client;
+  sub.id = id;
+  sub.priority = req.priority;
+  sub.ingest = std::move(job);
+  std::weak_ptr<Session> weak = s;
+  const Admission adm = dispatcher_->submit(
+      std::move(sub), [this, weak](const JobDone& done) {
+        const IngestOutcome& out = done.ingest_outcome;
+        IngestResponsePayload resp;
+        resp.status = out.status;
+        resp.error_code = out.error_code;
+        resp.error = out.error;
+        resp.fingerprint = out.fingerprint;
+        resp.corpus_path = out.corpus_path;
+        resp.nodes = out.nodes;
+        resp.edges = out.edges;
+        resp.witness.assign(out.witness.begin(), out.witness.end());
+        auto frame = make_frame(FrameType::kIngestResp, done.id,
+                                encode_ingest_response(resp));
         const auto session = weak.lock();
         if (session == nullptr || !session->deliver(done.client_seq,
                                                     std::move(frame))) {

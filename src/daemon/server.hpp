@@ -102,6 +102,7 @@ class Server {
   void handle_frame(const std::shared_ptr<Session>& s, const io::Frame& f);
   void handle_submit(const std::shared_ptr<Session>& s, const io::Frame& f);
   void handle_query(const std::shared_ptr<Session>& s, const io::Frame& f);
+  void handle_ingest(const std::shared_ptr<Session>& s, const io::Frame& f);
   void handle_drain(const std::shared_ptr<Session>& s, std::uint64_t id);
   void write_dumps();
   std::string drain_summary_json() const;

@@ -1,0 +1,216 @@
+#include "ingest/reader.hpp"
+
+#include <limits>
+#include <string>
+
+namespace plansep::ingest {
+
+namespace {
+
+bool is_space(char c) { return c == ' ' || c == '\t'; }
+
+/// Cursor over one line; all token extraction goes through here.
+struct LineCursor {
+  const std::string& s;
+  std::size_t pos = 0;
+  std::size_t line_no;
+
+  void skip_ws() {
+    while (pos < s.size() && is_space(s[pos])) ++pos;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos >= s.size();
+  }
+
+  /// Parses one non-negative integer token with an explicit overflow
+  /// check. Anything that is not pure digits is a parse error.
+  long long take_number(const char* what) {
+    skip_ws();
+    const std::size_t start = pos;
+    if (pos < s.size() && (s[pos] == '-' || s[pos] == '+')) {
+      throw IngestError(IngestErrorCode::kParse, line_no,
+                        std::string("signed ") + what + " '" +
+                            token_preview(start) + "' (ids must be plain "
+                            "non-negative integers)");
+    }
+    unsigned long long value = 0;
+    bool any = false;
+    constexpr unsigned long long kMax =
+        static_cast<unsigned long long>(std::numeric_limits<long long>::max());
+    while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+      const unsigned long long digit = static_cast<unsigned long long>(s[pos] - '0');
+      if (value > (kMax - digit) / 10) {
+        throw IngestError(IngestErrorCode::kOverflow, line_no,
+                          std::string(what) + " '" + token_preview(start) +
+                              "' exceeds 2^63-1");
+      }
+      value = value * 10 + digit;
+      any = true;
+      ++pos;
+    }
+    if (!any || (pos < s.size() && !is_space(s[pos]))) {
+      // No digits at all, or digits glued to trailing garbage ("12x").
+      throw IngestError(IngestErrorCode::kParse, line_no,
+                        std::string("expected ") + what + ", got '" +
+                            token_preview(start) + "'");
+    }
+    return static_cast<long long>(value);
+  }
+
+  void expect_line_end() {
+    skip_ws();
+    if (pos < s.size()) {
+      throw IngestError(IngestErrorCode::kParse, line_no,
+                        "trailing tokens after edge: '" + token_preview(pos) +
+                            "'");
+    }
+  }
+
+  /// A short printable preview of the token at `from`, for messages.
+  std::string token_preview(std::size_t from) const {
+    std::size_t end = from;
+    while (end < s.size() && !is_space(s[end])) ++end;
+    std::string tok = s.substr(from, std::min<std::size_t>(end - from, 24));
+    for (char& c : tok) {
+      if (static_cast<unsigned char>(c) < 0x20 ||
+          static_cast<unsigned char>(c) > 0x7e) {
+        c = '?';
+      }
+    }
+    if (end - from > 24) tok += "...";
+    return tok;
+  }
+};
+
+/// Reads one line with the byte cap enforced *while* reading, so one
+/// hostile gigabyte line cannot be buffered. Strips a trailing '\r'.
+bool read_capped_line(std::istream& in, std::size_t max_bytes,
+                      std::size_t line_no, std::string& out) {
+  out.clear();
+  char c;
+  bool any = false;
+  while (in.get(c)) {
+    any = true;
+    if (c == '\n') break;
+    if (out.size() >= max_bytes) {
+      throw IngestError(IngestErrorCode::kLineLimit, line_no,
+                        "line exceeds max_line_bytes=" +
+                            std::to_string(max_bytes));
+    }
+    out.push_back(c);
+  }
+  if (!out.empty() && out.back() == '\r') out.pop_back();
+  return any;
+}
+
+}  // namespace
+
+const char* text_format_name(TextFormat f) {
+  switch (f) {
+    case TextFormat::kAuto: return "auto";
+    case TextFormat::kEdgeList: return "edges";
+    case TextFormat::kDimacs: return "dimacs";
+  }
+  return "?";
+}
+
+bool text_format_from_name(const std::string& name, TextFormat& out) {
+  for (TextFormat f : {TextFormat::kAuto, TextFormat::kEdgeList,
+                       TextFormat::kDimacs}) {
+    if (name == text_format_name(f)) {
+      out = f;
+      return true;
+    }
+  }
+  return false;
+}
+
+RawEdgeList read_untrusted_edge_list(std::istream& in, TextFormat format,
+                                     const ReaderLimits& limits) {
+  RawEdgeList out;
+  out.detected =
+      format == TextFormat::kAuto ? TextFormat::kEdgeList : format;
+  bool sniffing = format == TextFormat::kAuto;
+  bool saw_p_line = false;
+  std::string line;
+  while (read_capped_line(in, limits.max_line_bytes, out.lines + 1, line)) {
+    ++out.lines;
+    LineCursor cur{line, 0, out.lines};
+    if (cur.at_end()) {
+      ++out.comment_lines;
+      continue;
+    }
+    const char head = line[cur.pos];
+    if (sniffing) {
+      // First significant line decides the dialect: a DIMACS file leads
+      // with "c ..." comments or the "p ..." header.
+      if ((head == 'p' || head == 'c') &&
+          (cur.pos + 1 == line.size() || is_space(line[cur.pos + 1]))) {
+        out.detected = TextFormat::kDimacs;
+      }
+      sniffing = false;
+    }
+
+    if (out.detected == TextFormat::kEdgeList) {
+      if (head == '#') {
+        ++out.comment_lines;
+        continue;
+      }
+    } else {
+      // DIMACS: a one-letter line tag, then the payload.
+      if (cur.pos + 1 < line.size() && !is_space(line[cur.pos + 1])) {
+        throw IngestError(IngestErrorCode::kParse, out.lines,
+                          "unknown dimacs line tag '" +
+                              cur.token_preview(cur.pos) + "'");
+      }
+      if (head == 'c') {
+        ++out.comment_lines;
+        continue;
+      }
+      if (head == 'p') {
+        if (saw_p_line) {
+          throw IngestError(IngestErrorCode::kParse, out.lines,
+                            "duplicate dimacs 'p' header");
+        }
+        saw_p_line = true;
+        ++cur.pos;
+        cur.skip_ws();
+        // Skip the problem tag ("edge", "sp", ...), then read n and m.
+        while (cur.pos < line.size() && !is_space(line[cur.pos]) &&
+               !(line[cur.pos] >= '0' && line[cur.pos] <= '9')) {
+          ++cur.pos;
+        }
+        out.declared_nodes = cur.take_number("dimacs node count");
+        out.declared_edges = cur.take_number("dimacs edge count");
+        cur.expect_line_end();
+        continue;
+      }
+      if (head != 'e' && head != 'a') {
+        throw IngestError(IngestErrorCode::kParse, out.lines,
+                          "unknown dimacs line tag '" +
+                              cur.token_preview(cur.pos) + "'");
+      }
+      ++cur.pos;  // consume the 'e' / 'a' tag, fall through to `u v`
+    }
+
+    const long long u = cur.take_number("node id");
+    const long long v = cur.take_number("node id");
+    cur.expect_line_end();
+    if (out.edges.size() >= limits.max_edges) {
+      throw IngestError(IngestErrorCode::kEdgeLimit, out.lines,
+                        "edge count exceeds max_edges=" +
+                            std::to_string(limits.max_edges));
+    }
+    out.edges.push_back({u, v});
+  }
+  if (out.detected == TextFormat::kDimacs && !saw_p_line &&
+      !out.edges.empty()) {
+    throw IngestError(IngestErrorCode::kParse, 0,
+                      "dimacs input without a 'p' header");
+  }
+  return out;
+}
+
+}  // namespace plansep::ingest

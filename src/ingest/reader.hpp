@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file
+/// Streaming hostile-input-safe edge-list reader: plain `u v` lines and
+/// DIMACS-ish files, with per-line byte caps and overflow-checked
+/// integer parsing. First stage of the ingest pipeline.
+
+// The reader trusts nothing: lines are length-capped before tokenizing,
+// integers are accumulated with an explicit overflow check (no strtoll
+// UB / errno dance), CRLF is tolerated, and the edge count is capped
+// while streaming so a multi-gigabyte hostile input fails fast instead
+// of being buffered whole. It does *no* graph-level validation — node
+// compaction, dedup, planarity all happen in pipeline.cpp — so its
+// output is exactly "the edges the text encodes", in input order.
+
+#include <cstddef>
+#include <istream>
+#include <vector>
+
+#include "ingest/error.hpp"
+
+namespace plansep::ingest {
+
+/// Input text dialects. kAuto sniffs: a first significant line starting
+/// with "p " selects DIMACS, anything else the plain edge list.
+enum class TextFormat : std::uint8_t {
+  kAuto = 0,      ///< sniff the dialect from the first significant line
+  kEdgeList = 1,  ///< `u v` per line; blank lines and `#...` comments
+  kDimacs = 2,    ///< `c` comments, one `p <tag> <n> <m>` header, `e u v`
+};
+
+/// Stable name of a format ("auto", "edges", "dimacs") — the spellings
+/// accepted by the CLI's --format flag.
+const char* text_format_name(TextFormat f);
+
+/// Inverse of text_format_name. Returns false on an unknown name,
+/// leaving `out` untouched.
+bool text_format_from_name(const std::string& name, TextFormat& out);
+
+/// Streaming caps enforced by the reader itself.
+struct ReaderLimits {
+  std::size_t max_line_bytes = 1 << 16;  ///< kLineLimit past this
+  std::size_t max_edges = 1u << 22;      ///< kEdgeLimit past this
+};
+
+/// The raw parse result: edges in input order, original ids untouched.
+struct RawEdgeList {
+  /// Edges exactly as the text encodes them, in input order.
+  std::vector<std::pair<long long, long long>> edges;
+  long long declared_nodes = -1;  ///< DIMACS `p` node count (-1 if absent)
+  long long declared_edges = -1;  ///< DIMACS `p` edge count (-1 if absent)
+  std::size_t lines = 0;          ///< physical lines consumed
+  std::size_t comment_lines = 0;  ///< comment/blank lines skipped
+  TextFormat detected = TextFormat::kEdgeList;  ///< post-sniff dialect
+};
+
+/// Reads the whole stream under the caps. Throws IngestError with code
+/// kParse / kOverflow / kLineLimit / kEdgeLimit and the 1-based line.
+RawEdgeList read_untrusted_edge_list(std::istream& in, TextFormat format,
+                                     const ReaderLimits& limits);
+
+}  // namespace plansep::ingest

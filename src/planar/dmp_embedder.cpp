@@ -367,7 +367,7 @@ std::optional<std::vector<std::vector<NodeId>>> embed_block(
 
 }  // namespace
 
-std::optional<EmbeddedGraph> planar_embedding(
+PlanarityResult planar_embedding_with_witness(
     NodeId n, const std::vector<Edge>& edges) {
   // Validate input and build adjacency.
   std::map<Edge, int> seen;
@@ -384,7 +384,9 @@ std::optional<EmbeddedGraph> planar_embedding(
     adj[static_cast<std::size_t>(b)].push_back({a, static_cast<int>(i)});
   }
   if (n >= 3 && static_cast<int>(edges.size()) > 3 * n - 6) {
-    return std::nullopt;  // Euler bound
+    // Euler bound: the whole edge set is the witness (any subgraph with
+    // m > 3n - 6 over its support would do; the caller gets the full set).
+    return {std::nullopt, edges};
   }
 
   // Per-block embedding, glued at articulation vertices.
@@ -411,7 +413,18 @@ std::optional<EmbeddedGraph> planar_embedding(
       local_edges.push_back({to_local[a], to_local[b]});
     }
     auto rot = embed_block(static_cast<int>(to_global.size()), local_edges);
-    if (!rot.has_value()) return std::nullopt;
+    if (!rot.has_value()) {
+      // The block itself is non-planar (a block-level DMP failure is a
+      // certificate, unlike a fragment-placement dead end in a planar
+      // graph, which cannot happen: DMP always extends a planar block).
+      // Its edge list, normalized (min, max) and sorted, is the witness.
+      std::vector<Edge> witness = block;
+      for (auto& [a, b] : witness) {
+        if (a > b) std::swap(a, b);
+      }
+      std::sort(witness.begin(), witness.end());
+      return {std::nullopt, std::move(witness)};
+    }
     for (NodeId lv = 0; lv < static_cast<NodeId>(to_global.size()); ++lv) {
       auto& out = rotations[static_cast<std::size_t>(to_global[static_cast<std::size_t>(lv)])];
       for (NodeId lw : (*rot)[static_cast<std::size_t>(lv)]) {
@@ -423,7 +436,12 @@ std::optional<EmbeddedGraph> planar_embedding(
   EmbeddedGraph g = EmbeddedGraph::from_rotations(rotations);
   const FaceStructure fs(g);
   PLANSEP_CHECK_MSG(fs.euler_genus(g) == 0, "DMP produced a bad embedding");
-  return g;
+  return {std::move(g), {}};
+}
+
+std::optional<EmbeddedGraph> planar_embedding(
+    NodeId n, const std::vector<Edge>& edges) {
+  return planar_embedding_with_witness(n, edges).embedding;
 }
 
 bool is_planar(NodeId n, const std::vector<Edge>& edges) {

@@ -27,10 +27,27 @@
 
 namespace plansep::planar {
 
+/// Result of a planarity check. Exactly one of the two members is
+/// populated: a successful check carries the embedding and an empty
+/// witness; a failed check carries a non-planarity witness — the edge
+/// list of an offending subgraph (a biconnected block that could not be
+/// embedded, which by Kuratowski contains a K5 or K3,3 subdivision; for
+/// the global Euler-bound rejection, the whole edge set).
+struct PlanarityResult {
+  std::optional<EmbeddedGraph> embedding;
+  std::vector<std::pair<NodeId, NodeId>> witness;
+
+  bool planar() const { return embedding.has_value(); }
+};
+
 /// Computes a planar combinatorial embedding of the simple graph given by
-/// (n, edges), or nullopt if the graph is not planar. Self-loops are
-/// rejected; duplicate edges are an error. The graph need not be
-/// connected.
+/// (n, edges), or a non-planarity witness if the graph is not planar.
+/// Self-loops are rejected; duplicate edges are an error. The graph need
+/// not be connected.
+PlanarityResult planar_embedding_with_witness(
+    NodeId n, const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+/// Embedding-or-nullopt convenience wrapper (drops the witness).
 std::optional<EmbeddedGraph> planar_embedding(
     NodeId n, const std::vector<std::pair<NodeId, NodeId>>& edges);
 

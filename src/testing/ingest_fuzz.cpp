@@ -1,0 +1,276 @@
+#include "testing/ingest_fuzz.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace plansep::testing {
+
+namespace {
+
+using Edge = std::pair<long long, long long>;
+
+// The caps the expectations are computed against (ingest_fuzz_options in
+// the test harness mirrors these).
+constexpr long long kFuzzMaxNodes = 5000;
+constexpr long long kFuzzMaxEdges = 20000;
+constexpr std::size_t kFuzzMaxLineBytes = 256;
+
+/// Remaps dense ids into a sparse, shuffled long-long space so the
+/// parser's compaction actually has work to do.
+struct IdMap {
+  long long mult;
+  long long offset;
+  long long operator()(long long v) const { return v * mult + offset; }
+};
+
+IdMap make_id_map(Rng& rng) {
+  return {rng.next_in(1, 1'000'000), rng.next_in(0, 1'000'000'000)};
+}
+
+/// Edges of an r x c grid over dense ids [0, r*c).
+std::vector<Edge> grid_edges(long long r, long long c) {
+  std::vector<Edge> edges;
+  for (long long y = 0; y < r; ++y) {
+    for (long long x = 0; x < c; ++x) {
+      const long long v = y * c + x;
+      if (x + 1 < c) edges.push_back({v, v + 1});
+      if (y + 1 < r) edges.push_back({v, v + c});
+    }
+  }
+  return edges;
+}
+
+/// Renders edges as hostile-but-valid text: random CRLF, tabs, extra
+/// spaces, interleaved comments, and (edge-list dialect) a shuffle.
+std::string render_edges(Rng& rng, std::vector<Edge> edges, bool dimacs,
+                         long long declared_nodes) {
+  std::string out;
+  const bool crlf = rng.next_bool(0.5);
+  const char* eol = crlf ? "\r\n" : "\n";
+  auto comment = [&] {
+    out += dimacs ? "c fuzz comment" : "# fuzz comment";
+    out += eol;
+  };
+  if (!dimacs) rng.shuffle(edges);
+  if (dimacs) {
+    if (rng.next_bool(0.5)) comment();
+    out += "p edge " + std::to_string(declared_nodes) + " " +
+           std::to_string(edges.size());
+    out += eol;
+  }
+  for (const auto& [u, v] : edges) {
+    if (rng.next_bool(0.05)) comment();
+    if (rng.next_bool(0.05)) out += eol;  // blank line
+    if (dimacs) out += "e ";
+    if (rng.next_bool(0.1)) out += ' ';
+    out += std::to_string(u);
+    out += rng.next_bool(0.2) ? "\t" : " ";
+    out += std::to_string(v);
+    if (rng.next_bool(0.1)) out += "  ";
+    out += eol;
+  }
+  return out;
+}
+
+/// A planar base (grid) with remapped sparse ids.
+std::vector<Edge> planar_base(Rng& rng, const IdMap& map) {
+  const long long r = rng.next_in(2, 8);
+  const long long c = rng.next_in(2, 8);
+  std::vector<Edge> edges;
+  for (const auto& [u, v] : grid_edges(r, c)) {
+    edges.push_back({map(u), map(v)});
+  }
+  return edges;
+}
+
+/// Glues a K5 (or K3,3) onto the base, sharing one base vertex. The
+/// clique forms its own biconnected block — the expected witness.
+void glue_nonplanar(Rng& rng, const IdMap& map, bool k33,
+                    std::vector<Edge>& edges) {
+  // Fresh ids far outside the base's remapped range.
+  const long long hi = 2'000'000'000'000LL + rng.next_in(0, 1'000'000);
+  std::vector<long long> nodes;
+  nodes.push_back(map(0));  // the shared articulation vertex
+  const int extra = k33 ? 5 : 4;
+  for (int i = 0; i < extra; ++i) nodes.push_back(hi + i);
+  if (k33) {
+    for (int a = 0; a < 3; ++a) {
+      for (int b = 3; b < 6; ++b) {
+        edges.push_back({nodes[static_cast<std::size_t>(a)],
+                         nodes[static_cast<std::size_t>(b)]});
+      }
+    }
+  } else {
+    for (int a = 0; a < 5; ++a) {
+      for (int b = a + 1; b < 5; ++b) {
+        edges.push_back({nodes[static_cast<std::size_t>(a)],
+                         nodes[static_cast<std::size_t>(b)]});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ingest::IngestOptions ingest_fuzz_options() {
+  ingest::IngestOptions opts;
+  opts.max_nodes = kFuzzMaxNodes;
+  opts.max_edges = kFuzzMaxEdges;
+  opts.max_line_bytes = kFuzzMaxLineBytes;
+  return opts;
+}
+
+IngestFuzzCase make_ingest_fuzz_case(std::uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  IngestFuzzCase out;
+  const IdMap map = make_id_map(rng);
+  switch (seed % 16) {
+    case 0: {  // valid planar edge list
+      out.text = render_edges(rng, planar_base(rng, map), false, 0);
+      out.expect = IngestExpectation::kAccept;
+      out.label = "valid-edges";
+      return out;
+    }
+    case 1: {  // valid planar DIMACS
+      auto edges = planar_base(rng, map);
+      // Declared node count only bounds from above; use a safe bound.
+      out.text = render_edges(rng, std::move(edges), true, 1'000'000'000);
+      out.expect = IngestExpectation::kAccept;
+      out.label = "valid-dimacs";
+      return out;
+    }
+    case 2: {  // malformed token
+      auto edges = planar_base(rng, map);
+      std::string text = render_edges(rng, std::move(edges), false, 0);
+      text += "12 x" + std::to_string(rng.next_in(0, 99)) + "\n";
+      out.text = std::move(text);
+      out.expect = IngestExpectation::kReject;
+      out.label = "malformed-token";
+      return out;
+    }
+    case 3: {  // overflow id
+      out.text = "1 2\n99999999999999999999 3\n";
+      out.expect = IngestExpectation::kReject;
+      out.label = "overflow-id";
+      return out;
+    }
+    case 4: {  // negative id
+      out.text = "1 2\n-7 3\n";
+      out.expect = IngestExpectation::kReject;
+      out.label = "negative-id";
+      return out;
+    }
+    case 5: {  // line over the byte cap
+      std::string text = "1 2\n1 ";
+      text.append(kFuzzMaxLineBytes + 16, '3');
+      text += "\n";
+      out.text = std::move(text);
+      out.expect = IngestExpectation::kReject;
+      out.label = "long-line";
+      return out;
+    }
+    case 6: {  // node cap: a path with kFuzzMaxNodes + 2 distinct nodes
+      std::string text;
+      for (long long v = 0; v <= kFuzzMaxNodes; ++v) {
+        text += std::to_string(map(v)) + " " + std::to_string(map(v + 1)) +
+                "\n";
+      }
+      out.text = std::move(text);
+      out.expect = IngestExpectation::kReject;
+      out.label = "node-cap";
+      return out;
+    }
+    case 7: {  // self-loop under the reject policy
+      auto edges = planar_base(rng, map);
+      edges.push_back({map(1), map(1)});
+      out.text = render_edges(rng, std::move(edges), false, 0);
+      out.expect = IngestExpectation::kReject;
+      out.label = "self-loop";
+      return out;
+    }
+    case 8: {  // duplicate edge under the reject policy
+      auto edges = planar_base(rng, map);
+      edges.push_back(rng.next_bool(0.5)
+                          ? edges.front()
+                          : Edge{edges.front().second, edges.front().first});
+      out.text = render_edges(rng, std::move(edges), false, 0);
+      out.expect = IngestExpectation::kReject;
+      out.label = "duplicate-edge";
+      return out;
+    }
+    case 9: {  // nothing but comments and blanks
+      out.text = "# nothing\n\n   \n# to see here\n";
+      out.expect = IngestExpectation::kReject;
+      out.label = "empty";
+      return out;
+    }
+    case 10: {  // near-planar: grid + glued K5
+      auto edges = planar_base(rng, map);
+      glue_nonplanar(rng, map, false, edges);
+      out.text = render_edges(rng, std::move(edges), false, 0);
+      out.expect = IngestExpectation::kReject;
+      out.label = "near-planar-k5";
+      return out;
+    }
+    case 11: {  // near-planar: grid + glued K3,3
+      auto edges = planar_base(rng, map);
+      glue_nonplanar(rng, map, true, edges);
+      out.text = render_edges(rng, std::move(edges), false, 0);
+      out.expect = IngestExpectation::kReject;
+      out.label = "near-planar-k33";
+      return out;
+    }
+    case 12: {  // random printable garbage
+      std::string text;
+      const long long lines = rng.next_in(1, 30);
+      for (long long i = 0; i < lines; ++i) {
+        const long long len = rng.next_in(0, 40);
+        for (long long j = 0; j < len; ++j) {
+          text += static_cast<char>(' ' + rng.next_in(0, 94));
+        }
+        text += rng.next_bool(0.3) ? "\r\n" : "\n";
+      }
+      out.text = std::move(text);
+      out.expect = IngestExpectation::kEither;
+      out.label = "garbage";
+      return out;
+    }
+    case 13: {  // random raw bytes (NULs, high bit, no final newline)
+      std::string text;
+      const long long len = rng.next_in(0, 400);
+      for (long long j = 0; j < len; ++j) {
+        text += static_cast<char>(rng.next_in(0, 255));
+      }
+      out.text = std::move(text);
+      out.expect = IngestExpectation::kEither;
+      out.label = "raw-bytes";
+      return out;
+    }
+    case 14: {  // truncation of a valid input at a random byte
+      std::string text = render_edges(rng, planar_base(rng, map), false, 0);
+      text.resize(static_cast<std::size_t>(
+          rng.next_in(0, static_cast<std::int64_t>(text.size()))));
+      out.text = std::move(text);
+      out.expect = IngestExpectation::kEither;
+      out.label = "truncated";
+      return out;
+    }
+    default: {  // dimacs header lying about the edge count
+      auto edges = planar_base(rng, map);
+      const long long wrong =
+          static_cast<long long>(edges.size()) + rng.next_in(1, 9);
+      std::string text = "p edge 1000000000 " + std::to_string(wrong) + "\n";
+      for (const auto& [u, v] : edges) {
+        text += "e " + std::to_string(u) + " " + std::to_string(v) + "\n";
+      }
+      out.text = std::move(text);
+      out.expect = IngestExpectation::kReject;
+      out.label = "dimacs-count-lie";
+      return out;
+    }
+  }
+}
+
+}  // namespace plansep::testing

@@ -144,5 +144,64 @@ TEST(Dmp, LargeGridRoundTrip) {
   EXPECT_EQ(fs.num_faces(), 19 * 19 + 1);
 }
 
+// ---------------------------------------------------- witness contract ----
+
+TEST(Dmp, WitnessIsEmptyOnPlanarInputs) {
+  const GeneratedGraph gg = grid(4, 4);
+  const auto res =
+      planar_embedding_with_witness(gg.graph.num_nodes(), edge_list(gg.graph));
+  EXPECT_TRUE(res.planar());
+  EXPECT_TRUE(res.witness.empty());
+}
+
+TEST(Dmp, WitnessIsolatesTheNonPlanarBlock) {
+  // K5 on nodes 0..4 glued by a cut vertex to a planar tail 4-5-6-7 plus
+  // a planar 4-cycle block 5-6-8-9. The witness must be exactly the K5
+  // block: itself non-planar, and no bystander edges dragged in.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<std::pair<NodeId, NodeId>> k5;
+  for (NodeId a = 0; a < 5; ++a) {
+    for (NodeId b = a + 1; b < 5; ++b) k5.emplace_back(a, b);
+  }
+  edges = k5;
+  edges.emplace_back(4, 5);
+  edges.emplace_back(5, 6);
+  edges.emplace_back(6, 7);
+  edges.emplace_back(5, 8);
+  edges.emplace_back(8, 9);
+  edges.emplace_back(9, 6);
+
+  const auto res = planar_embedding_with_witness(10, edges);
+  ASSERT_FALSE(res.planar());
+  auto witness = res.witness;
+  std::sort(witness.begin(), witness.end());
+  EXPECT_EQ(witness, k5);
+
+  // The witness certifies non-planarity on its own...
+  NodeId wn = 0;
+  for (const auto& [u, v] : witness) wn = std::max({wn, u, v});
+  EXPECT_FALSE(is_planar(wn + 1, witness));
+  // ...and is a subset of the input.
+  const std::set<std::pair<NodeId, NodeId>> input(edges.begin(), edges.end());
+  for (const auto& e : witness) {
+    EXPECT_TRUE(input.count(e)) << "{" << e.first << "," << e.second << "}";
+  }
+}
+
+TEST(Dmp, WitnessOnEulerOverflowIsTheWholeEdgeSet) {
+  // 7 nodes, 16 edges > 3n-6 = 15: rejected before any embedding work,
+  // witnessed by the full edge set (the global count is the certificate).
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId a = 0; a < 7; ++a) {
+    for (NodeId b = a + 1; b < 7 && edges.size() < 16; ++b) {
+      edges.emplace_back(a, b);
+    }
+  }
+  ASSERT_EQ(edges.size(), 16u);
+  const auto res = planar_embedding_with_witness(7, edges);
+  ASSERT_FALSE(res.planar());
+  EXPECT_EQ(res.witness.size(), edges.size());
+}
+
 }  // namespace
 }  // namespace plansep::planar

@@ -1,0 +1,91 @@
+// Seeded hostile-input fuzzing of the ingest front door: a ≥300-case
+// sweep over src/testing's adversarial generator. The contract under
+// attack: the pipeline either accepts (and then the artifact is a valid
+// planar embedding whose re-ingest is idempotent) or throws exactly
+// IngestError — never anything else, never a crash. Replay one case
+// with the seed printed in a failure message.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/fingerprint.hpp"
+#include "ingest/pipeline.hpp"
+#include "planar/planarity.hpp"
+#include "testing/ingest_fuzz.hpp"
+#include "util/check.hpp"
+
+namespace plansep {
+namespace {
+
+constexpr std::uint64_t kCases = 384;  // 24 full passes over the 16 classes
+
+TEST(IngestFuzz, SweepNeverCrashesAndHonorsExpectations) {
+  int accepted = 0, rejected = 0;
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    const testing::IngestFuzzCase c = testing::make_ingest_fuzz_case(seed);
+    const ingest::IngestOptions opts = testing::ingest_fuzz_options();
+    bool ok = false;
+    ingest::IngestResult res;
+    try {
+      res = ingest::ingest_string(c.text, opts);
+      ok = true;
+      ++accepted;
+    } catch (const ingest::IngestError&) {
+      ++rejected;
+    } catch (const CheckError& e) {
+      FAIL() << "seed " << seed << " (" << c.label
+             << "): internal invariant tripped: " << e.what();
+    } catch (const std::exception& e) {
+      FAIL() << "seed " << seed << " (" << c.label
+             << "): unexpected exception type: " << e.what();
+    }
+    switch (c.expect) {
+      case testing::IngestExpectation::kAccept:
+        EXPECT_TRUE(ok) << "seed " << seed << " (" << c.label
+                        << ") should have been admitted";
+        break;
+      case testing::IngestExpectation::kReject:
+        EXPECT_FALSE(ok) << "seed " << seed << " (" << c.label
+                         << ") should have been rejected";
+        break;
+      case testing::IngestExpectation::kEither:
+        break;
+    }
+    if (ok) {
+      EXPECT_TRUE(planar::validate_embedding(res.graph))
+          << "seed " << seed << " (" << c.label << ")";
+      EXPECT_GT(res.graph.num_edges(), 0) << "seed " << seed;
+    }
+  }
+  // The sweep must actually exercise both verdicts, heavily.
+  EXPECT_GE(accepted, 40) << "generator drifted: too few accepts";
+  EXPECT_GE(rejected, 200) << "generator drifted: too few rejects";
+}
+
+TEST(IngestFuzz, AcceptedCasesReingestToTheSameFingerprint) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const testing::IngestFuzzCase c = testing::make_ingest_fuzz_case(seed);
+    if (c.expect != testing::IngestExpectation::kAccept) continue;
+    const ingest::IngestOptions opts = testing::ingest_fuzz_options();
+    const auto first = ingest::ingest_string(c.text, opts);
+    const auto second = ingest::ingest_string(c.text, opts);
+    EXPECT_EQ(first.meta.fingerprint, second.meta.fingerprint)
+        << "seed " << seed;
+    EXPECT_EQ(core::topology_fingerprint(first.graph),
+              first.meta.fingerprint)
+        << "seed " << seed;
+  }
+}
+
+TEST(IngestFuzz, CasesAreSeedPure) {
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    const auto a = testing::make_ingest_fuzz_case(seed);
+    const auto b = testing::make_ingest_fuzz_case(seed);
+    EXPECT_EQ(a.text, b.text) << "seed " << seed;
+    EXPECT_EQ(a.expect, b.expect) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace plansep

@@ -35,6 +35,39 @@ TEST(Io, RejectsMalformedLines) {
   EXPECT_THROW(read_edge_list(neg), plansep::CheckError);
 }
 
+TEST(Io, ToleratesCrlfAndTrailingWhitespace) {
+  // Windows line endings, trailing blanks/tabs, and a final line with no
+  // newline must all parse as plain edges.
+  std::istringstream in(
+      "1 2\r\n"
+      "2 3 \t\r\n"
+      "\r\n"
+      "   \t\n"
+      "3 1");
+  const EdgeListInput got = read_edge_list(in);
+  EXPECT_EQ(got.num_nodes, 3);
+  EXPECT_EQ(got.edges.size(), 3u);
+}
+
+TEST(Io, CommentOnlyInputYieldsEmptyGraph) {
+  std::istringstream in("# nothing\n  \t\n#\r\n");
+  const EdgeListInput got = read_edge_list(in);
+  EXPECT_EQ(got.num_nodes, 0);
+  EXPECT_TRUE(got.edges.empty());
+}
+
+TEST(Io, Preserves64BitOriginalIds) {
+  // 2^53 + 1 survives only if ids are kept as integers end to end — a
+  // double round-trip would silently collapse it onto 2^53.
+  std::istringstream in(
+      "9007199254740993 9007199254740992\n"
+      "9007199254740992 5\n");
+  const EdgeListInput got = read_edge_list(in);
+  EXPECT_EQ(got.num_nodes, 3);
+  EXPECT_EQ(got.original_id[got.edges[0].first], 9007199254740993LL);
+  EXPECT_EQ(got.original_id[got.edges[0].second], 9007199254740992LL);
+}
+
 TEST(Io, DotContainsNodesEdgesAndHighlights) {
   const auto gg = planar::cycle(4);
   std::vector<char> mark(4, 0);
