@@ -1,0 +1,175 @@
+// E18 (taskgraph) — the phase-level task graph vs the monolithic call
+// sequence on the serving pipeline. The workload is the sharing
+// acceptance case: a two-algorithms-same-fingerprint batch (deterministic
+// separator + BFS-level baseline on one instance), where the DAG builds
+// the spanning tree once and both algorithms consume its bytes, while the
+// monolithic path pays the BFS twice. Reports the cold batch wall for
+// both execution modes (min-of-reps, fresh cache per rep), the warm DAG
+// wall (everything cache-served), the sub-result sharing counters, and
+// the corpus-store IO overlapped with compute. The bench hard-fails if
+// the DAG and monolithic row streams differ (byte-identity contract) or
+// if the cold DAG batch runs the spanning tree more than once per
+// fingerprint. Flags beyond bench_util's:
+//   --corpus-dir=PATH  scratch corpus root for the overlapped IO stage
+//                      (default taskgraph.bench.corpus, wiped per rep)
+
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "serve/batch.hpp"
+#include "serve/cache.hpp"
+#include "taskgraph/pipeline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plansep;
+  bench::ObsSession obs(argc, argv);
+  const bool quick = bench::quick_mode(argc, argv);
+  // Two jobs per batch, so two worker shards is the natural default: the
+  // second algorithm joins the first's spanning-tree flight instead of
+  // finding it already cached.
+  const int threads = bench::threads_arg(argc, argv, 2);
+  const int reps = bench::reps_arg(argc, argv, 3);
+  const int host_cores =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  std::string corpus_dir = "taskgraph.bench.corpus";
+  if (const char* v = bench::flag_value(argc, argv, "corpus-dir")) {
+    corpus_dir = v;
+  }
+
+  const std::vector<bench::SweepPoint> sweep =
+      quick ? std::vector<bench::SweepPoint>{
+                  {planar::Family::kGrid, 400},
+                  {planar::Family::kTriangulation, 2000}}
+            : std::vector<bench::SweepPoint>{
+                  {planar::Family::kGrid, 6400},
+                  {planar::Family::kTriangulation, 20000},
+                  {planar::Family::kRandomPlanar, 20000},
+                  {planar::Family::kTriangulation, 100000},
+              };
+
+  std::printf(
+      "E18: task-graph DAG vs monolithic on two-algorithm batches "
+      "(threads=%d%s)\n\n",
+      threads, quick ? ", quick" : "");
+  Table table({"family", "n", "mono ms", "dag ms", "warm ms", "speedup",
+               "st runs", "shared", "io ms"});
+  bench::BenchJson json("taskgraph");
+
+  for (const bench::SweepPoint& pt : sweep) {
+    const std::uint64_t seed = 1;
+    std::vector<serve::JobSpec> jobs(2);
+    jobs[0].family = planar::family_name(pt.family);
+    jobs[0].n = pt.n;
+    jobs[0].seed = seed;
+    jobs[0].algo = serve::Algo::kSeparator;
+    jobs[1] = jobs[0];
+    jobs[1].algo = serve::Algo::kBaselineSeparator;
+
+    // One cold batch in each execution mode: fresh in-memory cache, the
+    // corpus scratch wiped so the IO task writes every time.
+    const auto run_cold = [&](bool dag) {
+      std::filesystem::remove_all(corpus_dir);
+      std::filesystem::create_directories(corpus_dir);
+      serve::ResultCache cache({256u << 20, ""});
+      serve::BatchOptions opts;
+      opts.threads = threads;
+      opts.corpus_dir = corpus_dir;
+      opts.taskgraph = dag;
+      return serve::run_batch(jobs, opts, cache);
+    };
+
+    // Instrumented cold runs: counters and the byte-identity check.
+    const serve::BatchReport mono = run_cold(false);
+    const serve::BatchReport dag = run_cold(true);
+    if (mono.ok != 2 || dag.ok != 2) {
+      std::fprintf(stderr, "bench_taskgraph: batch failed (%lld/%lld ok)\n",
+                   mono.ok, dag.ok);
+      return 2;
+    }
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (mono.results[j].row != dag.results[j].row) {
+        std::fprintf(stderr,
+                     "bench_taskgraph: DAG row diverged from monolithic "
+                     "(job %zu)\n  mono: %s\n  dag:  %s\n",
+                     j, mono.results[j].row.c_str(),
+                     dag.results[j].row.c_str());
+        return 2;
+      }
+    }
+    const long long st_runs =
+        dag.taskgraph.runs.count(taskgraph::kSpanningTreeTask)
+            ? dag.taskgraph.runs.at(taskgraph::kSpanningTreeTask)
+            : 0;
+    const long long shared =
+        static_cast<long long>(jobs.size()) - st_runs;
+    if (st_runs != 1 || dag.cache.served_without_compute() <= 0) {
+      std::fprintf(stderr,
+                   "bench_taskgraph: no sub-result sharing on the cold DAG "
+                   "batch (spanning_tree runs=%lld, hits=%lld)\n",
+                   st_runs, dag.cache.hits);
+      return 2;
+    }
+
+    // Timed cold batches, then the warm DAG batch over one kept cache.
+    const double mono_ms = bench::min_wall_ms(reps, [&] { run_cold(false); });
+    const double dag_ms = bench::min_wall_ms(reps, [&] { run_cold(true); });
+
+    serve::ResultCache warm_cache({256u << 20, ""});
+    serve::BatchOptions warm_opts;
+    warm_opts.threads = threads;
+    warm_opts.taskgraph = true;
+    (void)serve::run_batch(jobs, warm_opts, warm_cache);
+    serve::BatchReport warm_report;
+    const double warm_ms = bench::min_wall_ms(reps, [&] {
+      warm_report = serve::run_batch(jobs, warm_opts, warm_cache);
+    });
+    if (warm_report.taskgraph.tasks_run != 0) {
+      std::fprintf(stderr,
+                   "bench_taskgraph: warm DAG batch ran %lld compute "
+                   "bodies, expected 0\n",
+                   warm_report.taskgraph.tasks_run);
+      return 2;
+    }
+
+    const double speedup = mono_ms / dag_ms;
+    table.add(planar::family_name(pt.family), pt.n, mono_ms, dag_ms, warm_ms,
+              speedup, st_runs, shared,
+              static_cast<double>(dag.taskgraph.overlapped_io_ms));
+    json.row()
+        .set("kind", "taskgraph")
+        .set("workload", "two-algo-pair")
+        .set("family", planar::family_name(pt.family))
+        .set("n", pt.n)
+        .set("threads", threads)
+        .set("par_threshold", 0)
+        .set("host_cores", host_cores)
+        .set("seed", static_cast<long long>(seed))
+        .set("jobs", static_cast<long long>(jobs.size()))
+        .set("mono_wall_ms", mono_ms)
+        .set("dag_wall_ms", dag_ms)
+        .set("dag_warm_wall_ms", warm_ms)
+        .set("speedup_dag_vs_mono", speedup)
+        .set("tasks_run", dag.taskgraph.tasks_run)
+        .set("cache_served", dag.taskgraph.cache_served)
+        .set("spanning_tree_runs", st_runs)
+        .set("shared_subresults", shared)
+        .set("flight_joins", dag.cache.flight_joins)
+        .set("cache_hits", dag.cache.hits)
+        .set("io_tasks", dag.taskgraph.io_tasks)
+        .set("overlapped_io_ms", dag.taskgraph.overlapped_io_ms)
+        .set("warm_cache_served", warm_report.taskgraph.cache_served);
+  }
+
+  std::filesystem::remove_all(corpus_dir);
+  table.print();
+  json.write(bench::json_path_arg(argc, argv, "taskgraph"));
+  std::printf(
+      "\nExpectation: the cold DAG batch builds the spanning tree once and\n"
+      "both algorithms consume its bytes (st runs=1, shared=1), beating the\n"
+      "monolithic path that pays the BFS per job; corpus IO overlaps the\n"
+      "compute stages; the warm batch is served entirely from cache. Rows\n"
+      "are byte-identical across execution modes (checked above).\n");
+  return 0;
+}

@@ -2,7 +2,8 @@
 //
 //   plansepd --socket=PATH [--workers=K] [--queue=N] [--quota=N]
 //            [--cache-bytes=N] [--cache-shards=N] [--cache-dir=DIR]
-//            [--corpus=DIR] [--metrics-out=FILE] [--trace-out=FILE]
+//            [--corpus=DIR] [--warm-from-corpus]
+//            [--metrics-out=FILE] [--trace-out=FILE]
 //            [--dump-every-ms=N] [--chaos-seed=S] [--chaos-crash=P]
 //
 // Clients speak the length-prefixed frame protocol of daemon/protocol.hpp
@@ -12,6 +13,11 @@
 // immediate typed reject, never silent queueing. Jobs execute through the
 // sharded in-memory result cache in front of the optional --cache-dir
 // disk tier, so a restarted daemon serves warm from disk.
+//
+// --warm-from-corpus preloads every persisted task-graph sub-artifact of
+// every corpus instance from the --cache-dir disk tier into the sharded
+// cache before the socket opens, so the first job of a session is warm
+// (requires --corpus and --cache-dir).
 //
 // --chaos-crash enables the deterministic chaos harness: a seeded coin
 // re-runs jobs as if a worker had crashed mid-job; delivered payloads are
@@ -49,7 +55,8 @@ int usage() {
       stderr,
       "usage: plansepd --socket=PATH [--workers=K] [--queue=N] [--quota=N] "
       "[--cache-bytes=N] [--cache-shards=N] [--cache-dir=DIR] "
-      "[--corpus=DIR] [--metrics-out=FILE] [--trace-out=FILE] "
+      "[--corpus=DIR] [--warm-from-corpus] "
+      "[--metrics-out=FILE] [--trace-out=FILE] "
       "[--dump-every-ms=N] [--chaos-seed=S] [--chaos-crash=P]\n");
   return 2;
 }
@@ -81,6 +88,8 @@ int main(int argc, char** argv) {
       opts.cache_disk_dir = v;
     } else if (flag_value(arg, "corpus", &v)) {
       opts.dispatcher.batch.corpus_dir = v;
+    } else if (arg == "--warm-from-corpus") {
+      opts.warm_from_corpus = true;
     } else if (flag_value(arg, "metrics-out", &v)) {
       opts.metrics_out = v;
     } else if (flag_value(arg, "trace-out", &v)) {
@@ -97,6 +106,13 @@ int main(int argc, char** argv) {
     }
   }
   if (opts.socket_path.empty()) return usage();
+  if (opts.warm_from_corpus &&
+      (opts.dispatcher.batch.corpus_dir.empty() ||
+       opts.cache_disk_dir.empty())) {
+    std::fprintf(stderr,
+                 "--warm-from-corpus requires --corpus and --cache-dir\n");
+    return usage();
+  }
 
   daemon::Server server(opts);
   g_server = &server;

@@ -24,7 +24,11 @@ double balance_of(const planar::EmbeddedGraph& g,
 
 LevelSeparatorResult bfs_level_separator(const planar::EmbeddedGraph& g,
                                          NodeId root) {
-  const auto bfs = congest::distributed_bfs(g, root);
+  return bfs_level_separator(g, congest::distributed_bfs(g, root));
+}
+
+LevelSeparatorResult bfs_level_separator(const planar::EmbeddedGraph& g,
+                                         const congest::BfsResult& bfs) {
   const int h = bfs.height;
   std::vector<std::vector<NodeId>> level(static_cast<std::size_t>(h + 1));
   for (NodeId v = 0; v < g.num_nodes(); ++v) {

@@ -12,6 +12,7 @@
 // reports failure. The cycle step it lacks is exactly what the paper's
 // Theorem 1 machinery provides, which is the comparison bench_lt draws.
 
+#include "congest/bfs_tree.hpp"
 #include "planar/embedded_graph.hpp"
 
 namespace plansep::baselines {
@@ -27,5 +28,11 @@ struct LevelSeparatorResult {
 /// all balanced single levels and median-straddling level pairs).
 LevelSeparatorResult bfs_level_separator(const planar::EmbeddedGraph& g,
                                          planar::NodeId root);
+
+/// Same search over a precomputed BFS tree (e.g. the task graph's shared
+/// spanning-tree artifact): the level structure is exactly bfs.depth, so
+/// the result is byte-identical to the root-taking overload.
+LevelSeparatorResult bfs_level_separator(const planar::EmbeddedGraph& g,
+                                         const congest::BfsResult& bfs);
 
 }  // namespace plansep::baselines

@@ -15,6 +15,7 @@
 
 #include "obs/json.hpp"
 #include "obs/trace_export.hpp"
+#include "taskgraph/pipeline.hpp"
 
 namespace plansep::daemon {
 
@@ -102,6 +103,15 @@ Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
 Server::~Server() { stop(); }
 
 void Server::start() {
+  if (opts_.warm_from_corpus) {
+    // Preload before the socket exists: every connection ever accepted
+    // sees the warmed cache, so "warm hits before any submit" holds by
+    // construction.
+    const taskgraph::WarmReport rep = taskgraph::warm_from_corpus(
+        *cache_, opts_.dispatcher.batch.corpus_dir);
+    metrics_.add("daemon/warm_instances", rep.instances);
+    metrics_.add("daemon/warm_artifacts", rep.artifacts);
+  }
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     throw std::runtime_error(std::string("socket: ") + std::strerror(errno));

@@ -57,6 +57,13 @@ struct ServerOptions {
   std::string trace_out;       ///< Perfetto trace path written at drain ("")
   /// Period of the live metrics/trace dump thread, ms; 0 disables.
   long long dump_every_ms = 0;
+  /// Boot warm-up: before accepting connections, preload every warmable
+  /// task-graph artifact of every corpus instance from the cache disk
+  /// tier into the sharded cache (taskgraph::warm_from_corpus), so the
+  /// first job of a session is warm. Requires the dispatcher's corpus dir
+  /// and a cache_disk_dir; counted as daemon/warm_instances and
+  /// daemon/warm_artifacts.
+  bool warm_from_corpus = false;
 };
 
 /// The daemon: listener + sessions + dispatcher + sharded cache.

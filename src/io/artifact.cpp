@@ -299,6 +299,63 @@ DfsArtifact decode_dfs(const std::vector<std::uint8_t>& bytes) {
   return d;
 }
 
+std::vector<std::uint8_t> encode_spanning_tree(const SpanningTreeArtifact& t) {
+  PLANSEP_CHECK(t.bfs.parent_dart.size() == t.bfs.depth.size());
+  ByteWriter w;
+  w.i32(t.bfs.root);
+  w.u32(static_cast<std::uint32_t>(t.bfs.parent_dart.size()));
+  for (const planar::DartId d : t.bfs.parent_dart) w.i32(d);
+  for (const int x : t.bfs.depth) w.i32(x);
+  w.i32(t.bfs.height);
+  w.i32(t.bfs.rounds);
+  w.i64(t.bfs.messages);
+  return w.take();
+}
+
+SpanningTreeArtifact decode_spanning_tree(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  SpanningTreeArtifact t;
+  t.bfs.root = r.i32();
+  const std::uint32_t n = r.u32();
+  if (n > (1u << 30)) malformed("implausible spanning tree size");
+  t.bfs.parent_dart.resize(n);
+  t.bfs.depth.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) t.bfs.parent_dart[i] = r.i32();
+  for (std::uint32_t i = 0; i < n; ++i) t.bfs.depth[i] = r.i32();
+  t.bfs.height = r.i32();
+  t.bfs.rounds = r.i32();
+  t.bfs.messages = r.i64();
+  r.expect_exhausted("spanning tree section");
+  if (t.bfs.root < 0 || static_cast<std::uint32_t>(t.bfs.root) >= std::max(1u, n)) {
+    malformed("spanning tree root out of range");
+  }
+  return t;
+}
+
+std::vector<std::uint8_t> encode_level_separator(const LevelSeparatorArtifact& s) {
+  ByteWriter w;
+  w.u8(s.result.found ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(s.result.separator.size()));
+  for (const planar::NodeId v : s.result.separator) w.i32(v);
+  w.f64(s.result.balance);
+  w.i32(s.result.levels_used);
+  return w.take();
+}
+
+LevelSeparatorArtifact decode_level_separator(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  LevelSeparatorArtifact s;
+  s.result.found = r.u8() != 0;
+  const std::uint32_t len = r.u32();
+  if (len > (1u << 30)) malformed("implausible level separator size");
+  s.result.separator.resize(len);
+  for (std::uint32_t i = 0; i < len; ++i) s.result.separator[i] = r.i32();
+  s.result.balance = r.f64();
+  s.result.levels_used = r.i32();
+  r.expect_exhausted("level separator section");
+  return s;
+}
+
 std::vector<std::uint8_t> encode_hierarchy(const HierarchyArtifact& h) {
   ByteWriter w;
   w.u32(static_cast<std::uint32_t>(h.num_nodes));

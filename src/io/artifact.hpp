@@ -34,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "baselines/level_separator.hpp"
+#include "congest/bfs_tree.hpp"
 #include "dfs/partial_tree.hpp"
 #include "io/binary.hpp"
 #include "planar/embedded_graph.hpp"
@@ -58,6 +60,8 @@ enum class SectionId : std::uint32_t {
   kDfsTree = 5,    ///< DFS tree (parents/depths) + build cost
   kHierarchy = 6,  ///< recursive separator decomposition (pieces + cost)
   kQueryIndex = 7, ///< distance-oracle index over a kHierarchy section
+  kSpanningTree = 8,    ///< global BFS spanning tree (task-graph sub-artifact)
+  kLevelSeparator = 9,  ///< BFS-level baseline separator result
 };
 
 /// One decoded section: id plus raw payload (CRC already verified).
@@ -134,6 +138,27 @@ SeparatorArtifact decode_separator(const std::vector<std::uint8_t>& bytes);
 std::vector<std::uint8_t> encode_dfs(const DfsArtifact& d);  ///< kDfsTree codec
 /// Decodes a kDfsTree payload.
 DfsArtifact decode_dfs(const std::vector<std::uint8_t>& bytes);
+
+/// A persisted global BFS spanning tree — the task graph's most shared
+/// sub-artifact (one tree feeds the deterministic separator, the baseline
+/// level separator, the DFS builder and the query hierarchy).
+struct SpanningTreeArtifact {
+  congest::BfsResult bfs;  ///< root, parent darts, depths, wave cost
+};
+
+std::vector<std::uint8_t> encode_spanning_tree(const SpanningTreeArtifact& t);  ///< kSpanningTree codec
+/// Decodes a kSpanningTree payload (structure checks; dart ids are
+/// validated against the graph by the consumer that binds them).
+SpanningTreeArtifact decode_spanning_tree(const std::vector<std::uint8_t>& bytes);
+
+/// A persisted BFS-level baseline separator (Lipton–Tarjan levels half).
+struct LevelSeparatorArtifact {
+  baselines::LevelSeparatorResult result;  ///< found flag, nodes, balance
+};
+
+std::vector<std::uint8_t> encode_level_separator(const LevelSeparatorArtifact& s);  ///< kLevelSeparator codec
+/// Decodes a kLevelSeparator payload.
+LevelSeparatorArtifact decode_level_separator(const std::vector<std::uint8_t>& bytes);
 
 /// A persisted separator hierarchy: the node count plus the pieces and
 /// build cost. Only the pieces are encoded; the decoder restores every

@@ -10,6 +10,8 @@
 #include "obs/metrics.hpp"
 #include "planar/generators.hpp"
 #include "shortcuts/partwise.hpp"
+#include "taskgraph/graph.hpp"
+#include "taskgraph/pipeline.hpp"
 
 namespace plansep::query {
 
@@ -131,22 +133,48 @@ QueryOutcome run_query_job(const QueryJob& job,
     const std::uint64_t fingerprint = core::topology_fingerprint(g);
     const serve::CacheKey key =
         index_cache_key(fingerprint, root, job.leaf_size);
-    const serve::ArtifactCache::Value bytes = cache.get_or_compute(key, [&] {
-      shortcuts::PartwiseEngine part_engine(g, root);
-      const separator::SeparatorHierarchy h =
-          separator::build_hierarchy(g, part_engine, job.leaf_size);
-      // Fanning the per-piece solves over opts.threads is byte-identical
-      // to the serial build (disjoint writes), so the cached artifact is
-      // the same no matter who computed it.
-      const QueryIndex qi =
-          build_query_index(g, h, job.leaf_size, std::max(1, opts.threads));
-      io::Artifact a;
-      a.add(io::SectionId::kMeta,
-            io::encode_meta({family, job.instance.seed, fingerprint}));
-      a.add(io::SectionId::kHierarchy, io::encode_hierarchy({n, h}));
-      a.add(io::SectionId::kQueryIndex, io::encode_query_index(qi));
-      return io::assemble(a);
-    });
+    serve::ArtifactCache::Value bytes;
+    if (opts.taskgraph) {
+      // The recorded query graph replays the closure below stage by stage
+      // (spanning tree → engine → hierarchy → index). Its query_index
+      // task overrides the key config with index_cache_key's mix, so the
+      // persisted index artifact lands under exactly `key`; the
+      // spanning-tree sub-artifact keys on the plain root mix, shared
+      // with batch jobs on the same fingerprint.
+      taskgraph::JobInputs in;
+      in.graph = &g;
+      in.root = root;
+      in.fingerprint = fingerprint;
+      in.config_hash =
+          core::mix_seed(0x726f6f7400000000ULL /* "root" */,
+                         static_cast<std::uint64_t>(root));
+      in.family = family;
+      in.seed = job.instance.seed;
+      in.leaf_size = job.leaf_size;
+      in.build_threads = std::max(1, opts.threads);
+      taskgraph::ExecOptions eo;
+      eo.cache = &cache;
+      taskgraph::Execution exec(taskgraph::query_graph(), in, eo);
+      bytes = exec.request(taskgraph::kQueryIndexTask);
+      exec.finish_io();
+    } else {
+      bytes = cache.get_or_compute(key, [&] {
+        shortcuts::PartwiseEngine part_engine(g, root);
+        const separator::SeparatorHierarchy h =
+            separator::build_hierarchy(g, part_engine, job.leaf_size);
+        // Fanning the per-piece solves over opts.threads is byte-identical
+        // to the serial build (disjoint writes), so the cached artifact is
+        // the same no matter who computed it.
+        const QueryIndex qi =
+            build_query_index(g, h, job.leaf_size, std::max(1, opts.threads));
+        io::Artifact a;
+        a.add(io::SectionId::kMeta,
+              io::encode_meta({family, job.instance.seed, fingerprint}));
+        a.add(io::SectionId::kHierarchy, io::encode_hierarchy({n, h}));
+        a.add(io::SectionId::kQueryIndex, io::encode_query_index(qi));
+        return io::assemble(a);
+      });
+    }
 
     // --- one bytes→answers path, warm or cold ----------------------------
     std::shared_ptr<QueryEngine> engine;

@@ -56,6 +56,15 @@ struct DfsRow {
   long long charged = 0;
 };
 
+/// Deterministic baseline-separator row fields, artifact-derived.
+struct BaselineRow {
+  bool found = false;
+  long long size = 0;
+  double balance = 0;
+  int levels = 0;
+  bool verified = false;
+};
+
 // Everything a job accumulates before its row is rendered.
 struct JobRun {
   const JobSpec* spec = nullptr;
@@ -70,6 +79,8 @@ struct JobRun {
   std::uint64_t fingerprint = 0;
   std::optional<SepRow> sep;
   std::optional<DfsRow> dfs;
+  std::optional<BaselineRow> baseline;
+  taskgraph::TaskGraphCounters tg;
 };
 
 std::string render_row(const JobRun& r) {
@@ -107,6 +118,15 @@ std::string render_row(const JobRun& r) {
     w.key("verified").value(r.dfs->verified);
     w.key("measured").value(r.dfs->measured);
     w.key("charged").value(r.dfs->charged);
+    w.end_object();
+  }
+  if (r.baseline) {
+    w.key("baseline").begin_object();
+    w.key("found").value(r.baseline->found);
+    w.key("size").value(r.baseline->size);
+    w.key("balance").value(r.baseline->balance);
+    w.key("levels").value(r.baseline->levels);
+    w.key("verified").value(r.baseline->verified);
     w.end_object();
   }
   if (!r.error.empty()) w.key("error").value(r.error);
@@ -159,6 +179,46 @@ DfsRow dfs_row_from_bytes(const planar::EmbeddedGraph& g,
   return row;
 }
 
+BaselineRow baseline_row_from_bytes(const planar::EmbeddedGraph& g,
+                                    const std::vector<std::uint8_t>& bytes) {
+  const io::Artifact a = io::parse(bytes);
+  const io::Section* sec = a.find(io::SectionId::kLevelSeparator);
+  if (sec == nullptr) throw io::FormatError("artifact lacks kLevelSeparator");
+  const io::LevelSeparatorArtifact la = io::decode_level_separator(sec->bytes);
+  BaselineRow row;
+  row.found = la.result.found;
+  row.size = static_cast<long long>(la.result.separator.size());
+  row.balance = la.result.balance;
+  row.levels = la.result.levels_used;
+  if (!la.result.found) {
+    row.verified = la.result.separator.empty();
+    return row;
+  }
+  // Re-derive the balance from the decoded node set: ids in range, no
+  // duplicates, stored balance exact, and the 2/3 bound actually held.
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<char> in_sep(n, 0);
+  bool ok = !la.result.separator.empty() && la.result.separator.size() < n;
+  for (const planar::NodeId v : la.result.separator) {
+    if (v < 0 || static_cast<std::size_t>(v) >= n ||
+        in_sep[static_cast<std::size_t>(v)]) {
+      ok = false;
+      break;
+    }
+    in_sep[static_cast<std::size_t>(v)] = 1;
+  }
+  if (ok) {
+    const sub::Components comps = sub::connected_components(
+        g, [&](planar::NodeId v) { return !in_sep[static_cast<std::size_t>(v)]; });
+    int max_size = 0;
+    for (const int s : comps.size) max_size = std::max(max_size, s);
+    const double bal = static_cast<double>(max_size) / g.num_nodes();
+    ok = bal == la.result.balance && 3 * bal <= 2.0;
+  }
+  row.verified = ok;
+  return row;
+}
+
 JobRun execute_job(const JobSpec& spec, std::uint64_t index,
                    const BatchOptions& opts, ArtifactCache& cache) {
   JobRun run;
@@ -171,8 +231,14 @@ JobRun execute_job(const JobSpec& spec, std::uint64_t index,
 
   try {
     // --- acquire the instance (generate-or-load) -------------------------
+    // Fault-injected jobs always take the monolithic recovery path; the
+    // task graph serves every fault-free job (unless PLANSEP_TASKGRAPH=0).
+    const bool faulty = spec.faults.enabled();
+    const bool dag = opts.taskgraph && !faulty;
+
     planar::EmbeddedGraph g;
     planar::NodeId root = 0;
+    bool generated = false;
     if (!spec.graph_path.empty()) {
       io::LoadedGraph loaded = io::load_graph(spec.graph_path);
       g = std::move(loaded.graph);
@@ -186,7 +252,10 @@ JobRun execute_job(const JobSpec& spec, std::uint64_t index,
           planar::make_instance(*fam, spec.n, spec.seed);
       g = std::move(gg.graph);
       root = gg.root_hint;
-      if (!opts.corpus_dir.empty()) {
+      generated = true;
+      // The DAG path stores through its IO task instead, overlapped with
+      // the compute stages.
+      if (!opts.corpus_dir.empty() && !dag) {
         io::store_in_corpus(opts.corpus_dir, spec.family, g, spec.seed);
       }
     }
@@ -202,7 +271,6 @@ JobRun execute_job(const JobSpec& spec, std::uint64_t index,
     // draw from one deterministic epoch sequence, and retries see fresh
     // faults. run_batch guarantees such jobs execute serially, so the
     // process-global injector never leaks into a concurrent job.
-    const bool faulty = spec.faults.enabled();
     std::optional<faults::FaultController> ctl;
     std::optional<faults::ScopedFaultInjection> inj;
     if (faulty) {
@@ -210,8 +278,28 @@ JobRun execute_job(const JobSpec& spec, std::uint64_t index,
       inj.emplace(*ctl);
     }
 
+    // One task-graph execution per job: the memo shares the spanning tree
+    // between this job's stages; the cache's single-flight shares it with
+    // concurrent jobs on the same fingerprint. IO (the corpus store)
+    // starts now, overlapped with the stages below.
+    std::optional<taskgraph::Execution> exec;
+    if (dag) {
+      taskgraph::JobInputs tin;
+      tin.graph = &g;
+      tin.root = root;
+      tin.fingerprint = run.fingerprint;
+      tin.config_hash = config_hash;
+      tin.corpus_dir = opts.corpus_dir;
+      tin.family = spec.family;
+      tin.seed = spec.seed;
+      tin.store_corpus = generated && !opts.corpus_dir.empty();
+      taskgraph::ExecOptions topts;
+      topts.cache = &cache;
+      exec.emplace(taskgraph::pipeline_graph(), tin, topts);
+    }
+
     // --- separator stage -------------------------------------------------
-    if (spec.algo != Algo::kDfs) {
+    if (spec.algo == Algo::kSeparator || spec.algo == Algo::kPipeline) {
       if (expired()) {
         run.status = "deadline";
       } else {
@@ -227,6 +315,8 @@ JobRun execute_job(const JobSpec& spec, std::uint64_t index,
           io::SeparatorArtifact sa{rec.result->parts.at(0), rec.cost};
           bytes = single_section(io::SectionId::kSeparator,
                                  io::encode_separator(sa));
+        } else if (dag) {
+          bytes = *exec->request(taskgraph::kSeparatorTask);
         } else {
           const CacheKey key{run.fingerprint, "separator@v1", config_hash};
           bytes = *cache.get_or_compute(key, [&] {
@@ -241,7 +331,8 @@ JobRun execute_job(const JobSpec& spec, std::uint64_t index,
     }
 
     // --- DFS stage -------------------------------------------------------
-    if (spec.algo != Algo::kSeparator && run.status != "deadline") {
+    if ((spec.algo == Algo::kDfs || spec.algo == Algo::kPipeline) &&
+        run.status != "deadline") {
       if (expired()) {
         run.status = "deadline";
       } else {
@@ -258,6 +349,8 @@ JobRun execute_job(const JobSpec& spec, std::uint64_t index,
           da.phases = rec.build->phases;
           da.cost = rec.cost;
           bytes = single_section(io::SectionId::kDfsTree, io::encode_dfs(da));
+        } else if (dag) {
+          bytes = *exec->request(taskgraph::kDfsTask);
         } else {
           const CacheKey key{run.fingerprint, "dfs@v1", config_hash};
           bytes = *cache.get_or_compute(key, [&] {
@@ -272,10 +365,44 @@ JobRun execute_job(const JobSpec& spec, std::uint64_t index,
       }
     }
 
+    // --- baseline separator stage ---------------------------------------
+    if (spec.algo == Algo::kBaselineSeparator && run.status != "deadline") {
+      if (expired()) {
+        run.status = "deadline";
+      } else {
+        std::vector<std::uint8_t> bytes;
+        if (faulty) {
+          // The level search is a pure function of the BFS wave, which is
+          // deterministic under a fault plan — no recovery driver needed.
+          io::LevelSeparatorArtifact la{baselines::bfs_level_separator(g, root)};
+          bytes = single_section(io::SectionId::kLevelSeparator,
+                                 io::encode_level_separator(la));
+        } else if (dag) {
+          bytes = *exec->request(taskgraph::kBaselineTask);
+        } else {
+          const CacheKey key{run.fingerprint,
+                             taskgraph::kLevelSeparatorArtifactId, config_hash};
+          bytes = *cache.get_or_compute(key, [&] {
+            io::LevelSeparatorArtifact la{
+                baselines::bfs_level_separator(g, root)};
+            return single_section(io::SectionId::kLevelSeparator,
+                                  io::encode_level_separator(la));
+          });
+        }
+        run.baseline = baseline_row_from_bytes(g, bytes);
+      }
+    }
+
+    if (exec) {
+      exec->finish_io();  // join the corpus store; rethrows its failure
+      run.tg = exec->counters();
+    }
+
     if (run.status == "ok") {
       const bool sep_bad = run.sep && !run.sep->verified;
       const bool dfs_bad = run.dfs && !run.dfs->verified;
-      if (sep_bad || dfs_bad) run.status = "check_failed";
+      const bool base_bad = run.baseline && !run.baseline->verified;
+      if (sep_bad || dfs_bad || base_bad) run.status = "check_failed";
     }
   } catch (const std::exception& e) {
     run.status = "error";
@@ -289,6 +416,7 @@ JobResult result_of(JobRun run) {
   res.status = run.status;
   res.error = run.error;
   res.attempts = run.attempts;
+  res.taskgraph = std::move(run.tg);
   res.row = render_row(run);
   return res;
 }
@@ -310,6 +438,8 @@ const char* algo_name(Algo a) {
       return "dfs";
     case Algo::kPipeline:
       return "pipeline";
+    case Algo::kBaselineSeparator:
+      return "baseline-separator";
   }
   return "?";
 }
@@ -318,6 +448,7 @@ std::optional<Algo> algo_from_name(const std::string& name) {
   if (name == "separator") return Algo::kSeparator;
   if (name == "dfs") return Algo::kDfs;
   if (name == "pipeline") return Algo::kPipeline;
+  if (name == "baseline-separator") return Algo::kBaselineSeparator;
   return std::nullopt;
 }
 
@@ -518,6 +649,7 @@ BatchReport run_batch(const std::vector<JobSpec>& jobs,
 
   rep.cache = cache.counters() - before;
   for (const JobResult& r : rep.results) {
+    rep.taskgraph.merge(r.taskgraph);
     if (r.status == "ok") {
       ++rep.ok;
     } else if (r.status == "check_failed") {
@@ -540,6 +672,19 @@ BatchReport run_batch(const std::vector<JobSpec>& jobs,
     reg->add("serve/cache_misses", rep.cache.misses);
     reg->add("serve/cache_served_warm", rep.cache.served_without_compute());
     reg->add("serve/cache_evictions", rep.cache.evictions);
+    reg->add("serve/cache_flight_joins", rep.cache.flight_joins);
+    // Task-graph counters, folded post-execution (the executor itself
+    // never touches obs globals). All thread-count invariant except the
+    // IO overlap, which is wall clock and lands in a histogram like the
+    // latency profile.
+    reg->add("taskgraph/tasks_run", rep.taskgraph.tasks_run);
+    reg->add("taskgraph/cache_served", rep.taskgraph.cache_served);
+    reg->add("taskgraph/io_tasks", rep.taskgraph.io_tasks);
+    for (const auto& [name, n] : rep.taskgraph.runs) {
+      reg->add("taskgraph/runs/" + name, n);
+    }
+    reg->histogram("taskgraph/overlapped_io_ms")
+        .add(rep.taskgraph.overlapped_io_ms);
     obs::HistogramData& lat = reg->histogram("serve/job_latency_ms");
     for (const long long ms : latency_ms) lat.add(ms);
     // Deterministic backlog profile: the queue depth each job observed at

@@ -39,6 +39,8 @@ CacheCounters CacheCounters::operator-(const CacheCounters& o) const {
   d.inserted_bytes = inserted_bytes - o.inserted_bytes;
   d.disk_corrupt = disk_corrupt - o.disk_corrupt;
   d.disk_write_failed = disk_write_failed - o.disk_write_failed;
+  d.flight_joins = flight_joins - o.flight_joins;
+  d.warmed = warmed - o.warmed;
   return d;
 }
 
@@ -101,6 +103,7 @@ ResultCache::Value ResultCache::get_or_compute(const CacheKey& key,
     if (flight->error) std::rethrow_exception(flight->error);
     std::lock_guard<std::mutex> clk(mu_);
     ++counters_.hits;  // coalesced join: served without a compute
+    ++counters_.flight_joins;
     return flight->value;
   }
 
@@ -165,6 +168,34 @@ ResultCache::Value ResultCache::get_or_compute(const CacheKey& key,
   return value;
 }
 
+bool ResultCache::warm(const CacheKey& key) {
+  const std::uint64_t address = cache_address(key);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (find_locked(address, key) != nullptr) return true;
+  }
+  if (opts_.disk_dir.empty()) return false;
+  const std::string path = disk_path(address);
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return false;
+  Value value;
+  try {
+    auto bytes = io::read_file(path);
+    io::parse(bytes);  // CRC-verify before trusting the disk tier
+    value = std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+  } catch (const io::FormatError&) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++counters_.disk_corrupt;
+    return false;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (find_locked(address, key) == nullptr) {
+    insert_locked(address, key, std::move(value));
+    ++counters_.warmed;
+  }
+  return true;
+}
+
 ResultCache::Value ResultCache::peek(const CacheKey& key) const {
   std::lock_guard<std::mutex> lk(mu_);
   const auto it = index_.find(cache_address(key));
@@ -227,6 +258,10 @@ ShardedResultCache::Value ShardedResultCache::get_or_compute(
       key, compute);
 }
 
+bool ShardedResultCache::warm(const CacheKey& key) {
+  return shards_[static_cast<std::size_t>(shard_of(key))]->warm(key);
+}
+
 ShardedResultCache::Value ShardedResultCache::peek(const CacheKey& key) const {
   return shards_[static_cast<std::size_t>(shard_of(key))]->peek(key);
 }
@@ -258,6 +293,8 @@ CacheCounters ShardedResultCache::counters() const {
     sum.inserted_bytes += c.inserted_bytes;
     sum.disk_corrupt += c.disk_corrupt;
     sum.disk_write_failed += c.disk_write_failed;
+    sum.flight_joins += c.flight_joins;
+    sum.warmed += c.warmed;
   }
   return sum;
 }

@@ -70,6 +70,11 @@ struct CacheCounters {
   long long inserted_bytes = 0;   ///< payload bytes ever inserted
   long long disk_corrupt = 0;     ///< disk payloads rejected by parsing
   long long disk_write_failed = 0;  ///< best-effort disk writes that failed
+  /// The subset of `hits` that joined another caller's in-progress flight
+  /// — the cross-job sub-result shares the task graph is after.
+  long long flight_joins = 0;
+  /// Entries preloaded from disk by warm() (boot warm-up; not hits).
+  long long warmed = 0;
 
   /// Total lookups answered without running a compute.
   long long served_without_compute() const { return hits + disk_hits; }
@@ -96,6 +101,11 @@ class ArtifactCache {
   /// cached then.
   virtual Value get_or_compute(const CacheKey& key,
                                const Compute& compute) = 0;
+  /// Preloads the key from the disk tier into memory without ever
+  /// computing. Returns true when the key is now resident (already in
+  /// memory, or loaded from a verified disk payload). Never counts a hit
+  /// or miss; a disk load bumps `warmed`. Default: not supported.
+  virtual bool warm(const CacheKey& key) { (void)key; return false; }
   /// Counter snapshot (aggregated over shards for the sharded tier).
   virtual CacheCounters counters() const = 0;
   /// Single-flight entries currently in progress. Zero whenever no
@@ -123,6 +133,9 @@ class ResultCache : public ArtifactCache {
   /// most once across all concurrent callers. Exceptions from compute
   /// propagate to every caller of that flight; nothing is cached then.
   Value get_or_compute(const CacheKey& key, const Compute& compute) override;
+
+  /// Disk-tier preload (see ArtifactCache::warm).
+  bool warm(const CacheKey& key) override;
 
   /// Memory-only peek (counts neither hit nor miss); null when absent.
   Value peek(const CacheKey& key) const;
@@ -196,6 +209,8 @@ class ShardedResultCache : public ArtifactCache {
 
   /// Delegates to the owning shard's get_or_compute.
   Value get_or_compute(const CacheKey& key, const Compute& compute) override;
+  /// Delegates to the owning shard's warm.
+  bool warm(const CacheKey& key) override;
   /// Memory-only peek into the owning shard.
   Value peek(const CacheKey& key) const;
   /// Drops every shard's in-memory entries (disk tier untouched).

@@ -42,6 +42,17 @@ constexpr long long kGlobalSimBudget = 20'000'000;
 PartwiseEngine::PartwiseEngine(const EmbeddedGraph& g, NodeId root) : g_(&g) {
   PLANSEP_SPAN("pa/setup_bfs");
   bfs_ = congest::distributed_bfs(g, root);
+  init_derived();
+}
+
+PartwiseEngine::PartwiseEngine(const EmbeddedGraph& g, congest::BfsResult bfs)
+    : g_(&g), bfs_(std::move(bfs)) {
+  PLANSEP_CHECK(static_cast<NodeId>(bfs_.depth.size()) == g.num_nodes());
+  init_derived();
+}
+
+void PartwiseEngine::init_derived() {
+  const EmbeddedGraph& g = *g_;
   for (int d : bfs_.depth) {
     PLANSEP_CHECK_MSG(d >= 0, "graph must be connected");
   }
@@ -57,6 +68,10 @@ PartwiseEngine::PartwiseEngine(const EmbeddedGraph& g, NodeId root) : g_(&g) {
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     const planar::DartId pd = bfs_.parent_dart[static_cast<std::size_t>(v)];
     if (pd != planar::kNoDart) {
+      // Guards adopted trees (the dart ids of a decoded spanning-tree
+      // artifact are untrusted until bound to this graph).
+      PLANSEP_CHECK_MSG(pd >= 0 && pd < g.num_darts(),
+                        "spanning tree dart out of range");
       bfs_children_[static_cast<std::size_t>(g.head(pd))].push_back(v);
     }
   }

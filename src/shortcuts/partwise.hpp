@@ -51,6 +51,12 @@ class PartwiseEngine {
   /// The construction cost is recorded in setup_cost().
   PartwiseEngine(const EmbeddedGraph& g, NodeId root);
 
+  /// Adopts a precomputed global BFS tree (e.g. the task graph's
+  /// spanning-tree artifact). setup_cost() and every derived structure are
+  /// pure functions of `bfs`, so an engine built this way is
+  /// indistinguishable from one that ran distributed_bfs itself.
+  PartwiseEngine(const EmbeddedGraph& g, congest::BfsResult bfs);
+
   /// Part-wise aggregate: part[v] in {-1 (absent), 0, 1, ...}; value[v] is
   /// v's input. Every node of a part learns the aggregate of its part.
   /// Parts must induce connected subgraphs of g.
@@ -81,6 +87,8 @@ class PartwiseEngine {
   }
 
  private:
+  void init_derived();
+
   long long intra_part_rounds(const std::vector<int>& part) const;
   long long global_tree_rounds(const std::vector<int>& part) const;
 

@@ -1,0 +1,250 @@
+#pragma once
+
+/// \file
+/// The phase-level task graph: a recorded DAG of named tasks producing
+/// fingerprint-keyed artifacts, replayed per job by a demand-driven
+/// executor that caches sub-results through serve::ArtifactCache and
+/// overlaps side-effect IO with compute.
+
+// Why a task graph (ROADMAP "Phase-level task graph"):
+//
+// The pipeline used to run as one monolithic call per algorithm — one
+// cache entry, nothing shared, nothing overlapped. This module splits it
+// into an explicit DAG whose nodes are the paper's natural stages
+// (spanning tree, separator compute, DFS build, hierarchy split, the
+// baseline's level search) plus side-effect IO (corpus store). A graph is
+// *recorded once* per algorithm family (pipeline.hpp) and *replayed* per
+// job against that job's inputs, Tenebris-render-graph style.
+//
+// Execution model — demand-driven, not eager:
+//
+//   * A caller requests sink tasks by name; only the transitive
+//     dependencies actually needed ever run. Crucially, an artifact task
+//     answered by the cache prunes its whole subtree: a warm
+//     "separator@v1" never touches the spanning tree, so warm-cache
+//     counter behaviour is identical to the monolithic path.
+//   * Artifact tasks (non-empty `artifact` id) resolve through
+//     serve::ArtifactCache::get_or_compute under the key
+//     {fingerprint, artifact, config_hash}. The cache's single-flight
+//     dedups the compute across concurrent jobs on the same fingerprint
+//     (CacheCounters::flight_joins counts those shares); a per-execution
+//     memo dedups within one job.
+//   * Ephemeral tasks (empty `artifact` id) carry in-memory values (e.g.
+//     a prepared PartwiseEngine) between tasks of one execution and are
+//     never persisted.
+//   * IO tasks run on a helper thread started at construction, so corpus
+//     writes overlap the compute stages; finish_io() joins them and
+//     rethrows their failures.
+//
+// Determinism (DESIGN.md §9, docs/TASKGRAPH.md): every task's bytes are a
+// pure function of its dependencies' bytes and the job inputs, consumers
+// decode dependency *bytes* (one bytes→value path, exactly like the
+// serving row contract), and the executor emits no spans or counters of
+// its own — so a DAG run produces byte-identical artifacts to the
+// monolithic call sequence, at any thread count, any cache temperature.
+// Counter totals (tasks_run, cache_served) are thread-count invariant by
+// the same single-flight argument as CacheCounters.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "planar/embedded_graph.hpp"
+#include "serve/cache.hpp"
+
+namespace plansep::taskgraph {
+
+/// Per-execution counters, folded into serve/daemon metrics snapshots
+/// *after* execution (never mutated through obs globals mid-run, which
+/// keeps the parallel sections race-free and the metrics deterministic).
+struct TaskGraphCounters {
+  /// Compute bodies actually executed (IO bodies are io_tasks). Invariant
+  /// across thread counts (single-flight) and equal to the cold-run task
+  /// count minus cache_served.
+  long long tasks_run = 0;
+  long long cache_served = 0;   ///< artifact requests answered without a run
+  long long io_tasks = 0;       ///< IO task bodies executed (never cached)
+  long long overlapped_io_ms = 0;  ///< wall ms of IO overlapped with compute
+  /// Bodies run per task name (the sharing tests assert e.g. that
+  /// "spanning_tree" ran exactly once across a two-algorithm batch).
+  std::map<std::string, long long> runs;
+
+  /// Component-wise accumulate (runs merge by name).
+  void merge(const TaskGraphCounters& o);
+};
+
+struct TaskContext;
+struct JobInputs;
+
+/// What one task produces: artifact tasks fill `bytes` (a canonical .psg
+/// container), ephemeral tasks fill `value`, IO tasks fill neither.
+struct TaskOutput {
+  std::vector<std::uint8_t> bytes;
+  std::shared_ptr<void> value;
+};
+
+/// One recorded node of the DAG.
+struct TaskDef {
+  std::string name;      ///< unique node name, e.g. "spanning_tree"
+  /// Versioned cache algorithm id (e.g. "spantree@v1"); empty = ephemeral
+  /// (never persisted, never cache-served).
+  std::string artifact;
+  std::vector<std::string> deps;  ///< names of previously recorded tasks
+  bool io = false;       ///< side-effect task, overlappable with compute
+  std::function<TaskOutput(TaskContext&)> run;  ///< the task body
+  /// Cache-key config hash override (e.g. the query index mixes leaf_size
+  /// into its key); unset tasks use JobInputs::config_hash.
+  std::function<std::uint64_t(const JobInputs&)> config;
+};
+
+/// The per-job inputs a recorded graph is replayed against.
+struct JobInputs {
+  const planar::EmbeddedGraph* graph = nullptr;  ///< the instance
+  planar::NodeId root = 0;          ///< pipeline root
+  std::uint64_t fingerprint = 0;    ///< core::topology_fingerprint(graph)
+  std::uint64_t config_hash = 0;    ///< serve cache config hash (root mix)
+  // IO-task inputs (corpus store); store_corpus false disables the store.
+  std::string corpus_dir;           ///< corpus root ("" = no store)
+  std::string family;               ///< provenance family
+  std::uint64_t seed = 0;           ///< provenance seed
+  bool store_corpus = false;        ///< persist the instance to the corpus
+  int leaf_size = 0;                ///< query hierarchy leaf bound (query jobs)
+  int build_threads = 1;            ///< per-piece fan-out of the index build
+};
+
+/// A recorded DAG. Tasks are appended in dependency order (every dep must
+/// already be recorded), so the recorded order *is* a topological order —
+/// acyclicity by construction, and the deterministic replay order the
+/// determinism argument leans on.
+class TaskGraph {
+ public:
+  /// An empty graph with a diagnostic name.
+  explicit TaskGraph(std::string name);
+
+  /// Records a task. Checks the name is new and every dep recorded.
+  void add(TaskDef d);
+
+  /// Index of a task name; -1 when absent.
+  int index_of(const std::string& name) const;
+  /// The i-th recorded task.
+  const TaskDef& task(int i) const { return tasks_[static_cast<std::size_t>(i)]; }
+  /// Recorded task count.
+  int size() const { return static_cast<int>(tasks_.size()); }
+  /// The graph's diagnostic name.
+  const std::string& name() const { return name_; }
+  /// Indices of every IO task, in recorded order.
+  const std::vector<int>& io_tasks() const { return io_tasks_; }
+
+ private:
+  std::string name_;
+  std::vector<TaskDef> tasks_;
+  std::map<std::string, int> by_name_;
+  std::vector<int> io_tasks_;
+};
+
+/// Execution knobs.
+struct ExecOptions {
+  /// Sub-artifact cache tier; null recomputes everything (tests).
+  serve::ArtifactCache* cache = nullptr;
+  /// Run multi-sink request_all() calls on congest::ThreadPool. Only legal
+  /// at top level (run_shards is not reentrant) and with the obs globals'
+  /// single-threaded-mutation rule in mind: request_all detaches them for
+  /// the parallel section, exactly like serve::run_batch.
+  bool parallel_sinks = false;
+  /// Start IO tasks on a helper thread at construction so they overlap
+  /// compute; false runs them inline at finish_io().
+  bool async_io = true;
+};
+
+/// One replay of a recorded graph against one job's inputs: a
+/// demand-driven memoizing executor. Thread-safe: concurrent request()
+/// calls for overlapping subtrees coalesce on per-task flights.
+class Execution {
+ public:
+  /// Binds the graph to the inputs; starts the IO helper thread when
+  /// async_io and the graph has IO tasks.
+  Execution(const TaskGraph& g, const JobInputs& in, ExecOptions opts);
+  /// Joins the IO thread (failures are swallowed here; call finish_io()
+  /// first to observe them).
+  ~Execution();
+  Execution(const Execution&) = delete;             ///< non-copyable
+  Execution& operator=(const Execution&) = delete;  ///< non-copyable
+
+  /// Demand-runs the named task (and, transitively, whatever it actually
+  /// needs) and returns its bytes. Artifact tasks resolve through the
+  /// cache. Exceptions from task bodies propagate to every requester.
+  serve::ArtifactCache::Value request(const std::string& task);
+
+  /// Requests several sinks; with parallel_sinks they run concurrently on
+  /// congest::ThreadPool (obs globals detached for the section), sharing
+  /// dependencies through the per-task flights.
+  void request_all(const std::vector<std::string>& tasks);
+
+  /// Runs any IO task not yet executed (inline) or joins the helper
+  /// thread, then rethrows the first IO failure, if any.
+  void finish_io();
+
+  /// Counter snapshot. Stable once every request and finish_io returned.
+  TaskGraphCounters counters() const;
+
+  /// The bound inputs (task bodies reach them through TaskContext).
+  const JobInputs& inputs() const { return in_; }
+
+ private:
+  friend struct TaskContext;
+
+  enum class State { kIdle, kRunning, kDone, kFailed };
+  struct Node {
+    State state = State::kIdle;
+    serve::ArtifactCache::Value bytes;
+    std::shared_ptr<void> value;
+    std::exception_ptr error;
+  };
+
+  serve::CacheKey key_of(const TaskDef& t) const;
+  /// Runs (or waits for) task i; returns with node kDone or rethrows.
+  void resolve(int i);
+  /// resolve(i) with the error left in the node (IO thread / run_shards).
+  void resolve_noexcept(int i) noexcept;
+  void run_io_tasks();
+
+  const TaskGraph& graph_;
+  JobInputs in_;
+  ExecOptions opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Node> nodes_;
+  TaskGraphCounters counters_;
+
+  std::thread io_thread_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point io_end_;
+  bool io_ran_async_ = false;
+  bool io_finished_ = false;
+};
+
+/// Dependency accessor handed to task bodies. Only declared deps may be
+/// read — an undeclared access is a programming error and checks out.
+struct TaskContext {
+  Execution& exec;       ///< the running execution
+  const TaskDef& self;   ///< the task being run
+  const JobInputs& in;   ///< the bound job inputs
+
+  /// The named dep's artifact bytes (runs it on demand).
+  serve::ArtifactCache::Value bytes(const std::string& dep);
+  /// The named dep's ephemeral value (runs it on demand).
+  std::shared_ptr<void> value(const std::string& dep);
+
+ private:
+  int dep_index(const std::string& dep) const;
+};
+
+}  // namespace plansep::taskgraph

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file
+/// The recorded task graphs of the separator/DFS pipeline and the query
+/// index build, plus the artifact-id registry the daemon's boot warm-up
+/// preloads from.
+
+// Two graphs, recorded once at first use and replayed per job:
+//
+//   pipeline_graph() — the batch/daemon job stages:
+//     spanning_tree ──> engine ──> separator        ("separator@v1")
+//                         │  └───> dfs              ("dfs@v1")
+//                         └── (ephemeral PartwiseEngine)
+//     spanning_tree ──────────────> baseline        ("lt-level@v1")
+//     corpus_store   (IO; overlapped with compute)
+//
+//   query_graph() — the persisted distance-oracle index:
+//     spanning_tree ──> engine ──> hierarchy ──> query_index
+//                                  (ephemeral)   (query::kIndexAlgorithmId)
+//
+// The "separator@v1"/"dfs@v1"/"hier-index@v1" artifact ids and payloads
+// are exactly the historical monolithic ones, so a disk tier written
+// before the task-graph cutover stays warm after it — and the byte-for-
+// byte CI smoke can compare the two paths directly. The spanning tree
+// ("spantree@v1", .psg kSpanningTree) and the baseline's level separator
+// ("lt-level@v1", kLevelSeparator) are the new sub-artifact sections.
+//
+// Task bodies replay the monolithic call sequences verbatim (down to the
+// "pa/setup_bfs" span around the BFS wave), and consumers decode
+// dependency *bytes* — never live sibling state — which is the byte-
+// identity argument spelled out in docs/TASKGRAPH.md.
+
+#include <string>
+#include <vector>
+
+#include "taskgraph/graph.hpp"
+
+namespace plansep::taskgraph {
+
+// Task names (the sinks callers request).
+inline constexpr const char* kSpanningTreeTask = "spanning_tree";
+inline constexpr const char* kEngineTask = "engine";
+inline constexpr const char* kSeparatorTask = "separator";
+inline constexpr const char* kDfsTask = "dfs";
+inline constexpr const char* kBaselineTask = "baseline";
+inline constexpr const char* kCorpusStoreTask = "corpus_store";
+inline constexpr const char* kHierarchyTask = "hierarchy";
+inline constexpr const char* kQueryIndexTask = "query_index";
+
+// New sub-artifact ids (the per-job ones — "separator@v1", "dfs@v1",
+// query::kIndexAlgorithmId — predate the task graph and keep their names).
+inline constexpr const char* kSpanningTreeArtifactId = "spantree@v1";
+inline constexpr const char* kLevelSeparatorArtifactId = "lt-level@v1";
+
+/// The recorded batch/daemon pipeline graph (process-wide, immutable).
+const TaskGraph& pipeline_graph();
+
+/// The recorded query-index graph (process-wide, immutable).
+const TaskGraph& query_graph();
+
+/// Every artifact algorithm id worth preloading at daemon boot for a
+/// corpus-addressed instance (plansepd --warm-from-corpus).
+const std::vector<std::string>& warmable_artifact_ids();
+
+/// Outcome of a boot warm-up sweep.
+struct WarmReport {
+  long long instances = 0;  ///< corpus entries visited
+  long long artifacts = 0;  ///< artifacts now resident in memory
+};
+
+/// Boot warm-up (plansepd --warm-from-corpus): for every instance in the
+/// corpus, preloads each warmable artifact from the cache's disk tier into
+/// memory under the root-0 configuration — the root every corpus-addressed
+/// (graph-path) job binds, and the root_hint of most generator families —
+/// so the first job of a session is served warm. Pure preloading: nothing
+/// is ever computed, absent disk payloads are skipped silently.
+WarmReport warm_from_corpus(serve::ArtifactCache& cache,
+                            const std::string& corpus_root);
+
+/// DAG execution toggle: true unless PLANSEP_TASKGRAPH is "0" or "off"
+/// (the monolithic fallback the byte-for-byte CI smoke compares against).
+bool taskgraph_enabled();
+
+}  // namespace plansep::taskgraph

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstdlib>
 #include <exception>
 #include <iostream>
 #include <sstream>
@@ -146,6 +147,25 @@ std::string CaseSpec::replay() const {
     os << " --faults=" << fault_family_name(faults);
   }
   return os.str();
+}
+
+std::string replay_env_prefix() {
+  // The env vars that change how a case executes (thread fan-out, round
+  // fusion, DAG-vs-monolithic path) without changing what it computes —
+  // a failure in any of those configurations must replay under it.
+  static constexpr const char* kVars[] = {
+      "PLANSEP_THREADS", "PLANSEP_PAR_THRESHOLD", "PLANSEP_FUSION",
+      "PLANSEP_TASKGRAPH"};
+  std::string prefix;
+  for (const char* var : kVars) {
+    const char* value = std::getenv(var);
+    if (value == nullptr) continue;
+    prefix += var;
+    prefix += '=';
+    prefix += value;
+    prefix += ' ';
+  }
+  return prefix;
 }
 
 std::optional<CaseSpec> parse_replay(std::string_view line) {
@@ -419,8 +439,9 @@ std::string PropResult::summary() const {
   if (ok()) return std::to_string(cases_run) + " cases ok";
   std::string s = std::to_string(failures.size()) + " failure(s) in " +
                   std::to_string(cases_run) + " cases:";
+  const std::string env = replay_env_prefix();
   for (const Failure& f : failures) {
-    s += "\n  replay: " + f.replay;
+    s += "\n  replay: " + env + f.replay;
     std::istringstream lines(f.report);
     std::string line;
     while (std::getline(lines, line)) s += "\n    " + line;
@@ -467,8 +488,8 @@ PropResult run_property(const std::string& name, const PropConfig& cfg,
     f.report = rep.to_string();
     f.shrunk = shrink_failure(spec, prop, cfg.shrink_budget, f.report);
     f.replay = f.shrunk.replay();
-    std::cerr << "[proptest] FAIL " << name << "; replay: " << f.replay
-              << std::endl;
+    std::cerr << "[proptest] FAIL " << name
+              << "; replay: " << replay_env_prefix() << f.replay << std::endl;
     out.failures.push_back(std::move(f));
   }
   return out;

@@ -16,11 +16,13 @@
 #include <string>
 #include <vector>
 
+#include "congest/network.hpp"
 #include "daemon/client.hpp"
 #include "daemon/dispatcher.hpp"
 #include "daemon/protocol.hpp"
 #include "daemon/server.hpp"
 #include "io/frame.hpp"
+#include "serve/batch.hpp"
 #include "serve/cache.hpp"
 
 namespace plansep {
@@ -537,6 +539,68 @@ TEST(DaemonServer, DrainWritesMetricsAndTraceDumps) {
                     std::istreambuf_iterator<char>());
   // The per-job spans show up as Chrome trace slices.
   EXPECT_NE(trace.find("daemon/job"), std::string::npos);
+}
+
+// --------------------------------------------------------- boot warm-up ----
+
+// plansepd --warm-from-corpus: a daemon booted over a populated corpus +
+// cache disk tier has the task-graph sub-artifacts resident in memory
+// *before any submit*, and the session's first job is served without a
+// single compute.
+TEST(DaemonServer, WarmFromCorpusServesFirstJobWarm) {
+  ScratchDir dir("warm");
+  const std::string corpus = dir.path() + "/corpus";
+  const std::string cache_dir = dir.path() + "/cache";
+  const serve::JobSpec spec = *serve::parse_job_line(kSpecA, 0);
+
+  // Populate: one cold pipeline job writes the instance into the corpus
+  // and its spanning-tree/separator/DFS sub-artifacts into the disk tier.
+  {
+    congest::ScopedThreadConfig serial{congest::ThreadConfig{}};
+    serve::ResultCache cold(serve::ResultCache::Options{1u << 22, cache_dir});
+    serve::BatchOptions popts;
+    popts.corpus_dir = corpus;
+    const serve::JobResult r = serve::run_single_job(spec, 1, popts, cold);
+    ASSERT_EQ(r.status, "ok") << r.error;
+    ASSERT_GT(r.taskgraph.tasks_run, 0);
+  }
+
+  daemon::ServerOptions opts;
+  ScratchDir sock("warmsock");
+  opts.socket_path = sock.path() + "/d.sock";
+  opts.cache_bytes = 1u << 22;
+  opts.cache_shards = 4;
+  opts.cache_disk_dir = cache_dir;
+  opts.dispatcher.batch.corpus_dir = corpus;
+  opts.warm_from_corpus = true;
+  daemon::Server server(opts);
+  server.start();
+
+  // Warm hits before any submit: the sub-artifacts are already resident.
+  const serve::CacheCounters boot = server.cache().counters();
+  EXPECT_GE(boot.warmed, 3);  // spantree@v1, separator@v1, dfs@v1
+  EXPECT_GE(server.cache().entries(), 3u);
+  EXPECT_EQ(boot.hits, 0);
+  EXPECT_EQ(boot.misses, 0);
+  EXPECT_EQ(server.metrics().counter("daemon/warm_instances"), 1);
+  EXPECT_GE(server.metrics().counter("daemon/warm_artifacts"), 3);
+
+  {
+    daemon::Client c;
+    ASSERT_TRUE(c.connect(opts.socket_path));
+    c.submit(1, daemon::Priority::kNormal, kSpecA);
+    const auto rows = collect_responses(c, 1);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows.at(1).status, "ok");
+    ASSERT_TRUE(c.drain(2).has_value());
+  }
+  // The whole session ran off the warmed entries: in-memory hits only,
+  // never a compute, never even a disk read.
+  const serve::CacheCounters after = server.cache().counters();
+  EXPECT_EQ(after.misses, 0);
+  EXPECT_EQ(after.disk_hits, 0);
+  EXPECT_GT(after.hits, 0);
+  server.stop();
 }
 
 // ------------------------------------------------------------ chaos soak ----

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <utility>
@@ -674,6 +675,73 @@ TEST(FaultReplay, RoundTripsThroughParseReplay) {
   // Fault-free specs keep the pre-fault replay format.
   spec.faults = testing::FaultFamily::kNone;
   EXPECT_EQ(spec.replay().find("--faults"), std::string::npos);
+}
+
+// The replay line carries the active execution env: a failure seen under
+// PLANSEP_THREADS / PLANSEP_FUSION / PLANSEP_TASKGRAPH (e.g. a task-graph
+// divergence that only shows fused and parallel) must replay under
+// exactly that configuration, not the defaults.
+TEST(FaultReplay, ReplayLinePrintsActiveExecutionEnv) {
+  const auto saved = [](const char* var) -> std::optional<std::string> {
+    const char* v = std::getenv(var);
+    if (v == nullptr) return std::nullopt;
+    return std::string(v);
+  };
+  const auto restore = [](const char* var,
+                          const std::optional<std::string>& value) {
+    if (value.has_value()) {
+      ::setenv(var, value->c_str(), 1);
+    } else {
+      ::unsetenv(var);
+    }
+  };
+  const auto threads = saved("PLANSEP_THREADS");
+  const auto threshold = saved("PLANSEP_PAR_THRESHOLD");
+  const auto fusion = saved("PLANSEP_FUSION");
+  const auto dag = saved("PLANSEP_TASKGRAPH");
+
+  ::unsetenv("PLANSEP_THREADS");
+  ::unsetenv("PLANSEP_PAR_THRESHOLD");
+  ::unsetenv("PLANSEP_FUSION");
+  ::unsetenv("PLANSEP_TASKGRAPH");
+  EXPECT_EQ(testing::replay_env_prefix(), "");
+
+  ::setenv("PLANSEP_THREADS", "4", 1);
+  ::setenv("PLANSEP_FUSION", "off", 1);
+  EXPECT_EQ(testing::replay_env_prefix(),
+            "PLANSEP_THREADS=4 PLANSEP_FUSION=off ");
+  ::setenv("PLANSEP_TASKGRAPH", "0", 1);
+  EXPECT_EQ(testing::replay_env_prefix(),
+            "PLANSEP_THREADS=4 PLANSEP_FUSION=off PLANSEP_TASKGRAPH=0 ");
+
+  // The prefixed line still replays: the parser sees only the -- tokens.
+  testing::CaseSpec spec;
+  spec.family = planar::Family::kGrid;
+  spec.n = 48;
+  spec.seed = 7;
+  const std::string line = testing::replay_env_prefix() + spec.replay();
+  const auto parsed =
+      testing::parse_replay(line.substr(line.find("--seed")));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->seed, spec.seed);
+
+  // A failing property's summary leads every replay command with it.
+  testing::PropResult failed;
+  failed.cases_run = 1;
+  testing::Failure f;
+  f.original = spec;
+  f.shrunk = spec;
+  f.replay = spec.replay();
+  f.report = "invariant violated";
+  failed.failures.push_back(f);
+  EXPECT_NE(failed.summary().find("replay: PLANSEP_THREADS=4 "),
+            std::string::npos)
+      << failed.summary();
+
+  restore("PLANSEP_THREADS", threads);
+  restore("PLANSEP_PAR_THRESHOLD", threshold);
+  restore("PLANSEP_FUSION", fusion);
+  restore("PLANSEP_TASKGRAPH", dag);
 }
 
 TEST(FaultReplay, FamilyNamesRoundTrip) {

@@ -1,0 +1,487 @@
+// The phase-level task graph (src/taskgraph/): recording validation,
+// demand-driven execution with per-execution memoization, cache
+// short-circuiting that prunes whole subtrees, IO overlap, error
+// propagation — and the acceptance properties the rewired serving layer
+// rides on: cross-job spanning-tree sharing (counter-asserted), and
+// DAG-vs-monolithic byte identity of rows and persisted artifacts across
+// thread counts and cache temperatures.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "congest/bfs_tree.hpp"
+#include "io/artifact.hpp"
+#include "io/corpus.hpp"
+#include "serve/batch.hpp"
+#include "serve/cache.hpp"
+#include "taskgraph/graph.hpp"
+#include "taskgraph/pipeline.hpp"
+#include "util/check.hpp"
+
+namespace plansep {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(const char* tag) {
+    path_ = (fs::temp_directory_path() /
+             (std::string("plansep_taskgraph_") + tag + "_" +
+              std::to_string(reinterpret_cast<std::uintptr_t>(this))))
+                .string();
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// A tiny synthetic graph: a -> b -> c, plus an ephemeral and an IO task.
+// Bodies count their runs so the tests can pin execution semantics
+// without involving the real pipeline.
+struct ToyGraph {
+  taskgraph::TaskGraph g{"toy"};
+  std::atomic<int> runs_a{0}, runs_b{0}, runs_c{0}, runs_io{0};
+
+  explicit ToyGraph(bool with_io = false) {
+    using taskgraph::TaskContext;
+    using taskgraph::TaskDef;
+    using taskgraph::TaskOutput;
+    g.add(TaskDef{"a", "toy-a@v1", {}, false,
+                  [this](TaskContext&) {
+                    ++runs_a;
+                    TaskOutput out;
+                    out.bytes = {1, 2, 3};
+                    return out;
+                  },
+                  nullptr});
+    g.add(TaskDef{"b", "", {"a"}, false,
+                  [this](TaskContext& ctx) {
+                    ++runs_b;
+                    TaskOutput out;
+                    out.value = std::make_shared<std::vector<std::uint8_t>>(
+                        *ctx.bytes("a"));
+                    return out;
+                  },
+                  nullptr});
+    g.add(TaskDef{"c", "toy-c@v1", {"b"}, false,
+                  [this](TaskContext& ctx) {
+                    ++runs_c;
+                    auto v = std::static_pointer_cast<
+                        std::vector<std::uint8_t>>(ctx.value("b"));
+                    TaskOutput out;
+                    out.bytes = *v;
+                    out.bytes.push_back(9);
+                    return out;
+                  },
+                  nullptr});
+    if (with_io) {
+      g.add(TaskDef{"io", "", {}, true,
+                    [this](TaskContext&) {
+                      ++runs_io;
+                      return TaskOutput{};
+                    },
+                    nullptr});
+    }
+  }
+};
+
+taskgraph::JobInputs toy_inputs() {
+  taskgraph::JobInputs in;
+  in.fingerprint = 0x1234;
+  in.config_hash = 0x99;
+  return in;
+}
+
+// ----------------------------------------------------------- recording ----
+
+TEST(TaskGraphRecord, RejectsDuplicateNamesAndUnrecordedDeps) {
+  taskgraph::TaskGraph g("bad");
+  const auto body = [](taskgraph::TaskContext&) {
+    return taskgraph::TaskOutput{};
+  };
+  g.add({"a", "", {}, false, body, nullptr});
+  EXPECT_THROW(g.add({"a", "", {}, false, body, nullptr}), CheckError);
+  EXPECT_THROW(g.add({"b", "", {"missing"}, false, body, nullptr}),
+               CheckError);
+  EXPECT_THROW(g.add({"", "", {}, false, body, nullptr}), CheckError);
+  EXPECT_THROW(g.add({"c", "", {}, false, nullptr, nullptr}), CheckError);
+  // Deps-before-use makes the recorded order a topological order.
+  EXPECT_EQ(g.index_of("a"), 0);
+  EXPECT_EQ(g.index_of("missing"), -1);
+}
+
+TEST(TaskGraphRecord, PipelineAndQueryGraphsAreWellFormed) {
+  const taskgraph::TaskGraph& p = taskgraph::pipeline_graph();
+  for (const char* task :
+       {taskgraph::kSpanningTreeTask, taskgraph::kEngineTask,
+        taskgraph::kSeparatorTask, taskgraph::kDfsTask,
+        taskgraph::kBaselineTask, taskgraph::kCorpusStoreTask}) {
+    EXPECT_GE(p.index_of(task), 0) << task;
+  }
+  // Every dep is recorded before its consumer: recorded order is
+  // topological, the determinism argument's anchor.
+  for (int i = 0; i < p.size(); ++i) {
+    for (const std::string& dep : p.task(i).deps) {
+      EXPECT_LT(p.index_of(dep), i);
+    }
+  }
+  const taskgraph::TaskGraph& q = taskgraph::query_graph();
+  EXPECT_GE(q.index_of(taskgraph::kQueryIndexTask), 0);
+  EXPECT_TRUE(p.io_tasks().size() == 1 && q.io_tasks().empty());
+}
+
+// ----------------------------------------------------------- execution ----
+
+TEST(TaskGraphExec, DemandDrivenMemoizedSingleRunPerTask) {
+  ToyGraph toy;
+  taskgraph::Execution exec(toy.g, toy_inputs(), {});
+  const auto c1 = exec.request("c");
+  const auto c2 = exec.request("c");  // memo: nothing reruns
+  EXPECT_EQ(*c1, (std::vector<std::uint8_t>{1, 2, 3, 9}));
+  EXPECT_EQ(*c1, *c2);
+  EXPECT_EQ(toy.runs_a.load(), 1);
+  EXPECT_EQ(toy.runs_b.load(), 1);
+  EXPECT_EQ(toy.runs_c.load(), 1);
+  const auto counters = exec.counters();
+  EXPECT_EQ(counters.tasks_run, 3);
+  EXPECT_EQ(counters.cache_served, 0);
+  EXPECT_EQ(counters.runs.at("a"), 1);
+}
+
+TEST(TaskGraphExec, RequestingOnlyTheRootRunsNothingElse) {
+  ToyGraph toy;
+  taskgraph::Execution exec(toy.g, toy_inputs(), {});
+  exec.request("a");
+  EXPECT_EQ(toy.runs_a.load(), 1);
+  EXPECT_EQ(toy.runs_b.load(), 0);
+  EXPECT_EQ(toy.runs_c.load(), 0);
+}
+
+TEST(TaskGraphExec, WarmCachePrunesTheWholeSubtree) {
+  serve::ResultCache cache({1 << 20, ""});
+  ToyGraph cold;
+  {
+    taskgraph::ExecOptions opts;
+    opts.cache = &cache;
+    taskgraph::Execution exec(cold.g, toy_inputs(), opts);
+    exec.request("c");
+    EXPECT_EQ(exec.counters().tasks_run, 3);
+  }
+  // Same key set, fresh execution: "c" answers from the cache and its
+  // deps ("b", "a") are never touched — warm behaviour is indistinguishable
+  // from the monolithic path's single cache entry.
+  ToyGraph warm;
+  taskgraph::ExecOptions opts;
+  opts.cache = &cache;
+  taskgraph::Execution exec(warm.g, toy_inputs(), opts);
+  const auto bytes = exec.request("c");
+  EXPECT_EQ(*bytes, (std::vector<std::uint8_t>{1, 2, 3, 9}));
+  EXPECT_EQ(warm.runs_a.load(), 0);
+  EXPECT_EQ(warm.runs_b.load(), 0);
+  EXPECT_EQ(warm.runs_c.load(), 0);
+  EXPECT_EQ(exec.counters().tasks_run, 0);
+  EXPECT_EQ(exec.counters().cache_served, 1);
+}
+
+TEST(TaskGraphExec, DifferentConfigHashesDoNotShare) {
+  serve::ResultCache cache({1 << 20, ""});
+  taskgraph::ExecOptions opts;
+  opts.cache = &cache;
+  ToyGraph toy1;
+  taskgraph::JobInputs in1 = toy_inputs();
+  taskgraph::Execution e1(toy1.g, in1, opts);
+  e1.request("c");
+  ToyGraph toy2;
+  taskgraph::JobInputs in2 = toy_inputs();
+  in2.config_hash = 0xdead;  // different config: its own artifacts
+  taskgraph::Execution e2(toy2.g, in2, opts);
+  e2.request("c");
+  EXPECT_EQ(toy2.runs_c.load(), 1);
+  EXPECT_EQ(cache.counters().misses, 4);  // a and c, for each config
+}
+
+TEST(TaskGraphExec, UndeclaredDepAccessThrowsCheckError) {
+  taskgraph::TaskGraph g("undeclared");
+  g.add({"dep", "", {}, false,
+         [](taskgraph::TaskContext&) { return taskgraph::TaskOutput{}; },
+         nullptr});
+  g.add({"bad", "", {}, false,
+         [](taskgraph::TaskContext& ctx) {
+           ctx.bytes("dep");  // never declared in deps
+           return taskgraph::TaskOutput{};
+         },
+         nullptr});
+  taskgraph::Execution exec(g, toy_inputs(), {});
+  EXPECT_THROW(exec.request("bad"), CheckError);
+  EXPECT_THROW(exec.request("nonexistent"), CheckError);
+}
+
+TEST(TaskGraphExec, TaskFailurePropagatesToEveryRequester) {
+  taskgraph::TaskGraph g("failing");
+  std::atomic<int> runs{0};
+  g.add({"boom", "", {}, false,
+         [&runs](taskgraph::TaskContext&) -> taskgraph::TaskOutput {
+           ++runs;
+           throw std::runtime_error("task exploded");
+         },
+         nullptr});
+  taskgraph::Execution exec(g, toy_inputs(), {});
+  EXPECT_THROW(exec.request("boom"), std::runtime_error);
+  // The failure is recorded, not retried: the second request rethrows
+  // without running the body again.
+  EXPECT_THROW(exec.request("boom"), std::runtime_error);
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_EQ(exec.counters().tasks_run, 0);
+}
+
+TEST(TaskGraphExec, ConcurrentRequestersCoalesceOnOneRun) {
+  ToyGraph toy;
+  taskgraph::Execution exec(toy.g, toy_inputs(), {});
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] { exec.request("c"); });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(toy.runs_a.load(), 1);
+  EXPECT_EQ(toy.runs_b.load(), 1);
+  EXPECT_EQ(toy.runs_c.load(), 1);
+}
+
+TEST(TaskGraphExec, AsyncIoRunsOnceAndOverlapIsMeasured) {
+  ToyGraph toy(/*with_io=*/true);
+  taskgraph::ExecOptions opts;
+  opts.async_io = true;
+  taskgraph::Execution exec(toy.g, toy_inputs(), opts);
+  exec.request("c");
+  exec.finish_io();
+  exec.finish_io();  // idempotent
+  EXPECT_EQ(toy.runs_io.load(), 1);
+  const auto counters = exec.counters();
+  EXPECT_EQ(counters.io_tasks, 1);
+  EXPECT_GE(counters.overlapped_io_ms, 0);
+}
+
+TEST(TaskGraphExec, SyncIoRunsAtFinishAndFailuresSurfaceThere) {
+  using taskgraph::TaskContext;
+  using taskgraph::TaskOutput;
+  taskgraph::TaskGraph g("iofail");
+  g.add({"io", "", {}, true,
+         [](TaskContext&) -> TaskOutput {
+           throw std::runtime_error("disk on fire");
+         },
+         nullptr});
+  taskgraph::ExecOptions opts;
+  opts.async_io = false;
+  taskgraph::Execution exec(g, toy_inputs(), opts);
+  EXPECT_THROW(exec.finish_io(), std::runtime_error);
+}
+
+TEST(TaskGraphCounters, MergeAccumulatesComponentWise) {
+  taskgraph::TaskGraphCounters a, b;
+  a.tasks_run = 2;
+  a.runs["x"] = 2;
+  b.tasks_run = 3;
+  b.cache_served = 1;
+  b.overlapped_io_ms = 7;
+  b.runs["x"] = 1;
+  b.runs["y"] = 4;
+  a.merge(b);
+  EXPECT_EQ(a.tasks_run, 5);
+  EXPECT_EQ(a.cache_served, 1);
+  EXPECT_EQ(a.overlapped_io_ms, 7);
+  EXPECT_EQ(a.runs.at("x"), 3);
+  EXPECT_EQ(a.runs.at("y"), 4);
+}
+
+// ----------------------------------------------- cross-job sharing ----
+
+std::string joined_rows(const serve::BatchReport& rep) {
+  std::string out;
+  for (const auto& r : rep.results) {
+    out += r.row;
+    out += '\n';
+  }
+  return out;
+}
+
+// The deterministic separator and the BFS-level baseline on the same
+// fingerprint: the spanning tree is built exactly once, shared through
+// the cache, and the outcome is byte-identical at any thread count and
+// cache temperature.
+std::vector<serve::JobSpec> sharing_jobs() {
+  std::istringstream file(
+      "--family=triangulation --n=80 --seed=11 --algo=separator\n"
+      "--family=triangulation --n=80 --seed=11 --algo=baseline-separator\n");
+  return serve::parse_job_file(file);
+}
+
+TEST(TaskGraphSharing, SpanningTreeBuiltOnceAcrossTwoAlgorithms) {
+  serve::BatchOptions opts;
+  opts.threads = 2;  // both jobs genuinely concurrent
+  serve::ResultCache cache({1 << 22, ""});
+  const auto rep = serve::run_batch(sharing_jobs(), opts, cache, nullptr);
+  ASSERT_EQ(rep.ok, 2);
+  // Counter-asserted sharing: one spanning-tree body run serves both the
+  // deterministic separator and the baseline.
+  EXPECT_EQ(rep.taskgraph.runs.at(taskgraph::kSpanningTreeTask), 1);
+  EXPECT_EQ(rep.taskgraph.runs.at(taskgraph::kSeparatorTask), 1);
+  EXPECT_EQ(rep.taskgraph.runs.at(taskgraph::kBaselineTask), 1);
+  // The second consumer was served from the cache (hit or flight join).
+  EXPECT_GT(rep.cache.hits, 0);
+  EXPECT_NE(rep.results[1].row.find("\"baseline\""), std::string::npos);
+}
+
+TEST(TaskGraphSharing, ByteIdenticalAcrossThreadCountsAndTemperature) {
+  std::string reference;
+  for (const int threads : {1, 4, 8}) {
+    serve::BatchOptions opts;
+    opts.threads = threads;
+    serve::ResultCache cache({1 << 22, ""});
+    const auto cold = serve::run_batch(sharing_jobs(), opts, cache, nullptr);
+    ASSERT_EQ(cold.ok, 2) << "threads=" << threads;
+    // tasks_run totals are thread-count invariant by single-flight.
+    EXPECT_EQ(cold.taskgraph.tasks_run, 4) << "threads=" << threads;
+    const auto warm = serve::run_batch(sharing_jobs(), opts, cache, nullptr);
+    EXPECT_EQ(joined_rows(cold), joined_rows(warm));
+    EXPECT_EQ(warm.taskgraph.tasks_run, 0);
+    EXPECT_GT(warm.taskgraph.cache_served, 0);
+    if (reference.empty()) {
+      reference = joined_rows(cold);
+    } else {
+      EXPECT_EQ(reference, joined_rows(cold)) << "threads=" << threads;
+    }
+  }
+}
+
+// ------------------------------------------- DAG vs monolithic parity ----
+
+std::vector<serve::JobSpec> parity_jobs() {
+  std::istringstream file(
+      "--family=grid --n=49 --seed=1 --algo=pipeline\n"
+      "--family=triangulation --n=60 --seed=2 --algo=separator\n"
+      "--family=cycle --n=24 --seed=3 --algo=dfs\n"
+      "--family=triangulation --n=60 --seed=2 --algo=baseline-separator\n"
+      "--family=outerplanar --n=40 --seed=4 --algo=pipeline\n");
+  return serve::parse_job_file(file);
+}
+
+// The acceptance criterion: a job executed through the task graph
+// produces byte-identical rows and persisted .psg artifacts to the
+// monolithic path, at thread counts {1, 4, 8}.
+TEST(TaskGraphParity, DagAndMonolithicRowsAndArtifactsAreByteIdentical) {
+  ScratchDir mono_dir("mono");
+  serve::BatchOptions mono;
+  mono.taskgraph = false;
+  mono.corpus_dir = mono_dir.path();
+  serve::ResultCache mono_cache({1 << 22, ""});
+  const auto mono_rep =
+      serve::run_batch(parity_jobs(), mono, mono_cache, nullptr);
+  ASSERT_EQ(mono_rep.ok, mono_rep.jobs);
+  EXPECT_EQ(mono_rep.taskgraph.tasks_run, 0);  // truly monolithic
+
+  for (const int threads : {1, 4, 8}) {
+    ScratchDir dag_dir("dag");
+    serve::BatchOptions dag;
+    dag.taskgraph = true;
+    dag.threads = threads;
+    dag.corpus_dir = dag_dir.path();
+    serve::ResultCache dag_cache({1 << 22, ""});
+    const auto dag_rep =
+        serve::run_batch(parity_jobs(), dag, dag_cache, nullptr);
+    ASSERT_EQ(dag_rep.ok, dag_rep.jobs) << "threads=" << threads;
+    EXPECT_GT(dag_rep.taskgraph.tasks_run, 0);
+    EXPECT_EQ(joined_rows(mono_rep), joined_rows(dag_rep))
+        << "threads=" << threads;
+
+    // The corpus artifacts (stored by the DAG's overlapped IO task vs the
+    // monolithic inline store) are byte-identical too.
+    const auto mono_entries = io::list_corpus(mono_dir.path());
+    const auto dag_entries = io::list_corpus(dag_dir.path());
+    ASSERT_EQ(mono_entries.size(), dag_entries.size());
+    for (std::size_t i = 0; i < mono_entries.size(); ++i) {
+      EXPECT_EQ(mono_entries[i].family, dag_entries[i].family);
+      EXPECT_EQ(mono_entries[i].fingerprint, dag_entries[i].fingerprint);
+      EXPECT_EQ(io::read_file(mono_entries[i].path),
+                io::read_file(dag_entries[i].path));
+    }
+  }
+}
+
+// PLANSEP_TASKGRAPH=0 is the monolithic fallback the CI smoke compares
+// against; the default is on.
+TEST(TaskGraphParity, EnvToggleParsesAllSpellings) {
+  const char* saved = std::getenv("PLANSEP_TASKGRAPH");
+  const std::string saved_value = saved ? saved : "";
+  ::setenv("PLANSEP_TASKGRAPH", "0", 1);
+  EXPECT_FALSE(taskgraph::taskgraph_enabled());
+  ::setenv("PLANSEP_TASKGRAPH", "off", 1);
+  EXPECT_FALSE(taskgraph::taskgraph_enabled());
+  ::setenv("PLANSEP_TASKGRAPH", "1", 1);
+  EXPECT_TRUE(taskgraph::taskgraph_enabled());
+  ::unsetenv("PLANSEP_TASKGRAPH");
+  EXPECT_TRUE(taskgraph::taskgraph_enabled());
+  if (saved) ::setenv("PLANSEP_TASKGRAPH", saved_value.c_str(), 1);
+}
+
+// -------------------------------------------------- sub-artifact codecs ----
+
+TEST(TaskGraphArtifacts, SpanningTreeCodecRoundTrips) {
+  congest::BfsResult bfs;
+  bfs.root = 2;
+  bfs.parent_dart = {4, planar::kNoDart, 7};
+  bfs.depth = {1, 2, 0};
+  bfs.height = 2;
+  bfs.rounds = 5;
+  bfs.messages = 42;
+  const auto bytes = io::encode_spanning_tree({bfs});
+  const io::SpanningTreeArtifact back = io::decode_spanning_tree(bytes);
+  EXPECT_EQ(back.bfs.root, bfs.root);
+  EXPECT_EQ(back.bfs.parent_dart, bfs.parent_dart);
+  EXPECT_EQ(back.bfs.depth, bfs.depth);
+  EXPECT_EQ(back.bfs.height, bfs.height);
+  EXPECT_EQ(back.bfs.rounds, bfs.rounds);
+  EXPECT_EQ(back.bfs.messages, bfs.messages);
+  // Structural guards: truncation and a hostile root are typed errors.
+  auto truncated = bytes;
+  truncated.resize(truncated.size() - 1);
+  EXPECT_THROW(io::decode_spanning_tree(truncated), io::FormatError);
+  congest::BfsResult hostile = bfs;
+  hostile.root = 99;
+  EXPECT_THROW(io::decode_spanning_tree(io::encode_spanning_tree({hostile})),
+               io::FormatError);
+}
+
+TEST(TaskGraphArtifacts, LevelSeparatorCodecRoundTrips) {
+  baselines::LevelSeparatorResult res;
+  res.found = true;
+  res.separator = {3, 1, 4};
+  res.balance = 0.5;
+  res.levels_used = 2;
+  const auto bytes = io::encode_level_separator({res});
+  const io::LevelSeparatorArtifact back = io::decode_level_separator(bytes);
+  EXPECT_EQ(back.result.found, res.found);
+  EXPECT_EQ(back.result.separator, res.separator);
+  EXPECT_EQ(back.result.balance, res.balance);
+  EXPECT_EQ(back.result.levels_used, res.levels_used);
+  auto trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_THROW(io::decode_level_separator(trailing), io::FormatError);
+}
+
+}  // namespace
+}  // namespace plansep
